@@ -1,0 +1,19 @@
+"""Benchmark bootstrap: make the in-tree package importable without installation."""
+
+import gc
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture(autouse=True)
+def _collect_between_benchmarks():
+    """Release workload arrays promptly so a full benchmark session stays
+    within a laptop's memory budget (each case builds its own pipelines)."""
+    yield
+    gc.collect()

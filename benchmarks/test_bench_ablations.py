@@ -1,0 +1,49 @@
+"""Ablation benchmarks for DSLog design choices.
+
+* merge step on/off (DSLog vs DSLog-NoMerge) — the paper reports that the
+  merge between θ-joins improves query latency with minimal overhead;
+* relative value transformation on/off — ProvRC's second pass is what
+  collapses element-wise lineage to a single row;
+* GZip stage on/off (ProvRC vs ProvRC-GZip) on unstructured lineage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capture.analytic import elementwise_lineage, selection_lineage
+from repro.core.provrc import compress
+from repro.core.serialize import serialize_compressed, serialize_compressed_gzip
+from repro.experiments.fig8_query_latency import query_cells_for_selectivity
+from repro.workloads.pipelines import resnet_block_pipeline
+
+
+@pytest.mark.parametrize("merge", [True, False], ids=["merge", "no-merge"])
+def test_ablation_merge_step(benchmark, merge):
+    pipeline = resnet_block_pipeline(24, 24)
+    log = pipeline.load_into_dslog()
+    cells = query_cells_for_selectivity(pipeline.first_shape, 0.1, seed=3)
+    result = benchmark(lambda: log.prov_query(pipeline.path, cells, merge=merge).count_cells())
+    benchmark.extra_info["merge"] = merge
+    benchmark.extra_info["result_cells"] = result
+
+
+@pytest.mark.parametrize("relative", [True, False], ids=["relative", "no-relative"])
+def test_ablation_relative_transform(benchmark, relative):
+    relation = elementwise_lineage((50_000,))
+    table = benchmark(lambda: compress(relation, relative=relative))
+    benchmark.extra_info["rows"] = len(table)
+    if relative:
+        assert len(table) == 1
+    else:
+        assert len(table) == 50_000
+
+
+@pytest.mark.parametrize("gzip_stage", [False, True], ids=["provrc", "provrc-gzip"])
+def test_ablation_gzip_stage(benchmark, gzip_stage):
+    rng = np.random.default_rng(5)
+    order = np.argsort(rng.normal(size=30_000), kind="stable")
+    relation = selection_lineage(order, (30_000,))
+    table = compress(relation)
+    serialize = serialize_compressed_gzip if gzip_stage else serialize_compressed
+    payload = benchmark(lambda: serialize(table))
+    benchmark.extra_info["bytes"] = len(payload)

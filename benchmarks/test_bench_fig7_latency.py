@@ -1,0 +1,33 @@
+"""Benchmark for Figure 7: compression latency vs input size per format.
+
+Each benchmark case measures the end-to-end read/convert/compress latency
+for one (lineage kind, format, size) point of the figure.
+"""
+
+import pytest
+
+from repro.baselines.stores import all_baseline_stores
+from repro.core.provrc import compress
+from repro.core.serialize import serialize_compressed_gzip
+from repro.experiments.fig7_compression_latency import _build_relation
+
+SIZES = [10_000, 50_000]
+KINDS = ["elementwise", "aggregate"]
+FORMATS = ["Raw", "Parquet", "Parquet-GZip", "Turbo-RC", "ProvRC-GZip"]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_compression_latency(benchmark, kind, size, fmt):
+    relation = _build_relation(kind, size)
+    stores = all_baseline_stores()
+
+    if fmt == "ProvRC-GZip":
+        payload = benchmark(lambda: serialize_compressed_gzip(compress(relation, key="output")))
+    else:
+        payload = benchmark(lambda: stores[fmt].encode(relation.rows))
+
+    benchmark.extra_info["kind"] = kind
+    benchmark.extra_info["cells"] = size
+    benchmark.extra_info["bytes"] = len(payload)

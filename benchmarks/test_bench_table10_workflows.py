@@ -1,0 +1,13 @@
+"""Benchmark for Table X: workflow-trace generation and compressibility classification."""
+
+from repro.experiments.table10_workflows import run as run_table10
+
+
+def test_table10_workflow_coverage(benchmark):
+    results = benchmark(lambda: run_table10(n_workflows=20))
+    total = results["Total"]
+    benchmark.extra_info["compressible_pct_mean"] = round(total["compressible_pct"][0], 1)
+    benchmark.extra_info["longest_chain_mean"] = round(total["longest_chain"][0], 1)
+    # Table X ballpark: ~60-80% compressible, chains of ~10-25 operations.
+    assert 55 <= total["compressible_pct"][0] <= 90
+    assert 5 <= total["longest_chain"][0] <= 45

@@ -1,0 +1,52 @@
+"""Benchmark for Table VII: compression size per format for every operation.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  The measured quantity is
+the end-to-end encode cost per format; the printed extra info carries the
+size comparison that reproduces the table (who compresses what, by how
+much), which is the paper's actual claim.
+"""
+
+import pytest
+
+from repro.baselines.stores import all_baseline_stores
+from repro.experiments.common import provrc_bytes, provrc_gzip_bytes
+from repro.experiments.table7_compression import run as run_table7
+from repro.workloads.operations import build_workload, compression_workloads
+
+SCALE = 0.05
+OPERATIONS = sorted(compression_workloads())
+
+
+@pytest.mark.parametrize("operation", OPERATIONS)
+def test_provrc_compression_size(benchmark, operation):
+    """ProvRC encode latency + size ratio vs Raw for one Table VII operation."""
+    relations = build_workload(operation, scale=SCALE)
+    raw_bytes = sum(all_baseline_stores()["Raw"].size_bytes(rel.rows) for rel in relations)
+
+    compressed_bytes = benchmark(provrc_bytes, relations)
+
+    benchmark.extra_info["operation"] = operation
+    benchmark.extra_info["raw_bytes"] = raw_bytes
+    benchmark.extra_info["provrc_bytes"] = compressed_bytes
+    benchmark.extra_info["ratio_percent"] = 100.0 * compressed_bytes / raw_bytes
+    assert compressed_bytes > 0
+
+
+@pytest.mark.parametrize("fmt", ["Raw", "Parquet", "Parquet-GZip", "Turbo-RC"])
+def test_baseline_compression_size(benchmark, fmt):
+    """Baseline encode latency on the Negative workload (reference point)."""
+    relations = build_workload("Negative", scale=SCALE)
+    store = all_baseline_stores()[fmt]
+
+    total = benchmark(lambda: sum(store.size_bytes(rel.rows) for rel in relations))
+    benchmark.extra_info["format"] = fmt
+    benchmark.extra_info["bytes"] = total
+
+
+def test_full_table7_harness(benchmark):
+    """One full Table VII sweep at reduced scale (all formats, all operations)."""
+    results = benchmark.pedantic(run_table7, kwargs={"scale": 0.02}, rounds=1, iterations=1)
+    structured = ["Negative", "Aggregate", "Matrix*Vector", "Matrix*Matrix", "Repetition"]
+    for op in structured:
+        assert results[op]["ProvRC"] < results[op]["Raw"] / 100
+    benchmark.extra_info["operations"] = len(results)

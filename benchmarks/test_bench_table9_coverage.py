@@ -1,0 +1,19 @@
+"""Benchmark for Table IX: compression + reuse coverage sweep over the numpy catalog."""
+
+from repro.experiments.table9_coverage import run as run_coverage
+
+
+def test_table9_coverage_sweep(benchmark):
+    tallies = benchmark.pedantic(
+        run_coverage, kwargs={"runs": 4, "base_size": 200}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["element_provrc"] = tallies["element"]["provrc"]
+    benchmark.extra_info["complex_provrc"] = tallies["complex"]["provrc"]
+    benchmark.extra_info["gen_sig_total"] = tallies["total"]["gen_sig"]
+    benchmark.extra_info["errors"] = tallies["total"]["error"]
+    # Table IX shape: every element-wise op compresses and generalizes;
+    # complex coverage is lower but still a majority.
+    assert tallies["element"]["provrc"] == tallies["element"]["total"]
+    assert tallies["element"]["gen_sig"] == tallies["element"]["total"]
+    assert tallies["complex"]["provrc"] >= tallies["complex"]["total"] // 2
+    assert tallies["total"]["gen_sig"] < tallies["total"]["dim_sig"] + tallies["element"]["total"]

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the in-tree package importable without installation.
+
+The environment used for the reproduction has no network access and no
+``wheel`` package, so ``pip install -e .`` cannot build an editable wheel.
+Adding ``src`` to ``sys.path`` here keeps ``pytest`` working either way.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

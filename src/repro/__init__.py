@@ -1,0 +1,37 @@
+"""repro: a reproduction of DSLog / ProvRC (ICDE 2024).
+
+"Compression and In-Situ Query Processing for Fine-Grained Array Lineage"
+— a storage system for cell-level array lineage built around the ProvRC
+compression algorithm, in-situ θ-join query processing and lineage reuse.
+
+Public entry points
+-------------------
+* :class:`repro.DSLog` — the lineage index (define arrays, register
+  operations, run forward/backward path queries).
+* :mod:`repro.core` — the ProvRC algorithm, compressed tables and the
+  in-situ query processor.
+* :mod:`repro.capture` — prototype capture methods (cell-level numpy
+  tracking, explainable-AI capture, relational operators).
+* :mod:`repro.baselines` — the storage/query baselines of the evaluation.
+* :mod:`repro.workloads` — workload and dataset generators.
+* :mod:`repro.experiments` — one harness per paper table/figure.
+"""
+
+from .core.compressed import CompressedLineage
+from .core.provrc import compress, compress_both
+from .core.query import CellBoxSet, QueryResult
+from .core.relation import LineageRelation
+from .dslog import DSLog
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "DSLog",
+    "LineageRelation",
+    "CompressedLineage",
+    "CellBoxSet",
+    "QueryResult",
+    "compress",
+    "compress_both",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Baseline storage formats and query strategies (the paper's comparators)."""
+
+from .engine import ArrayDatabase, BaselineDatabase, StoredRelation
+from .stores import (
+    ArrayStore,
+    BaselineStore,
+    ColumnarGzipStore,
+    ColumnarStore,
+    RawStore,
+    TurboRCStore,
+    all_baseline_stores,
+)
+
+__all__ = [
+    "BaselineStore",
+    "RawStore",
+    "ArrayStore",
+    "ColumnarStore",
+    "ColumnarGzipStore",
+    "TurboRCStore",
+    "all_baseline_stores",
+    "BaselineDatabase",
+    "ArrayDatabase",
+    "StoredRelation",
+]

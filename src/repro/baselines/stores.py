@@ -1,0 +1,317 @@
+"""Baseline storage formats for lineage tables (Section VII.B).
+
+The paper compares ProvRC against alternative physical designs for the
+same relational lineage tables:
+
+* **Raw** — row-oriented storage without compression (the Ground-style
+  design, served by DuckDB in the paper).
+* **Array** — the lineage tuples stored as a plain numpy array.
+* **Parquet** — a columnar format with light per-column encodings
+  (dictionary / run-length), default row-group partitioning.
+* **Parquet-GZip** — the same with general-purpose compression on top.
+* **Turbo-RC** — a custom columnar format applying run-length encoding
+  combined with integer entropy coding per column.
+
+DuckDB, Apache Parquet and the TurboPFor codecs are not available offline,
+so each format is re-implemented here with the same design points (layout,
+encodings, compression stack); see DESIGN.md for the substitution notes.
+Every store exposes ``encode`` / ``decode`` over the ``(n, ncols)`` integer
+row matrix of a lineage relation, which is exactly what the baseline query
+engine consumes.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BaselineStore",
+    "RawStore",
+    "ArrayStore",
+    "ColumnarStore",
+    "ColumnarGzipStore",
+    "TurboRCStore",
+    "all_baseline_stores",
+]
+
+_MAGIC = b"BLST"
+
+
+def _smallest_uint_dtype(max_value: int) -> np.dtype:
+    for dtype in (np.uint8, np.uint16, np.uint32, np.uint64):
+        if max_value <= np.iinfo(dtype).max:
+            return np.dtype(dtype)
+    return np.dtype(np.uint64)
+
+
+def _smallest_int_dtype(lo: int, hi: int) -> np.dtype:
+    for dtype in (np.int8, np.int16, np.int32, np.int64):
+        info = np.iinfo(dtype)
+        if info.min <= lo and hi <= info.max:
+            return np.dtype(dtype)
+    return np.dtype(np.int64)
+
+
+def _pack_blocks(header: dict, blocks: List[bytes]) -> bytes:
+    header = dict(header)
+    header["block_sizes"] = [len(b) for b in blocks]
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return _MAGIC + struct.pack("<I", len(header_bytes)) + header_bytes + b"".join(blocks)
+
+
+def _unpack_blocks(data: bytes) -> Tuple[dict, List[bytes]]:
+    if data[:4] != _MAGIC:
+        raise ValueError("not a baseline store payload")
+    (header_len,) = struct.unpack("<I", data[4:8])
+    header = json.loads(data[8 : 8 + header_len].decode("utf-8"))
+    blocks = []
+    offset = 8 + header_len
+    for size in header["block_sizes"]:
+        blocks.append(data[offset : offset + size])
+        offset += size
+    return header, blocks
+
+
+class BaselineStore:
+    """Interface of a baseline storage format."""
+
+    name = "baseline"
+
+    def encode(self, rows: np.ndarray) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: bytes) -> np.ndarray:
+        raise NotImplementedError
+
+    def size_bytes(self, rows: np.ndarray) -> int:
+        """On-disk size of the encoded table."""
+        return len(self.encode(rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+# ----------------------------------------------------------------------
+# Raw and Array
+# ----------------------------------------------------------------------
+class RawStore(BaselineStore):
+    """Row-oriented storage without compression (8-byte integers per cell)."""
+
+    name = "Raw"
+
+    def encode(self, rows: np.ndarray) -> bytes:
+        rows = np.ascontiguousarray(np.asarray(rows, dtype=np.int64))
+        header = {"n": int(rows.shape[0]), "cols": int(rows.shape[1]) if rows.ndim == 2 else 0}
+        return _pack_blocks(header, [rows.tobytes()])
+
+    def decode(self, data: bytes) -> np.ndarray:
+        header, blocks = _unpack_blocks(data)
+        rows = np.frombuffer(blocks[0], dtype=np.int64)
+        return rows.reshape(header["n"], header["cols"])
+
+
+class ArrayStore(BaselineStore):
+    """The lineage tuples stored as a dense numpy array (``.npy``-style)."""
+
+    name = "Array"
+
+    def encode(self, rows: np.ndarray) -> bytes:
+        import io
+
+        buffer = io.BytesIO()
+        np.save(buffer, np.asarray(rows, dtype=np.int64))
+        return buffer.getvalue()
+
+    def decode(self, data: bytes) -> np.ndarray:
+        import io
+
+        return np.load(io.BytesIO(data))
+
+
+# ----------------------------------------------------------------------
+# column encodings shared by the columnar stores
+# ----------------------------------------------------------------------
+def _encode_plain(column: np.ndarray) -> Tuple[str, bytes, dict]:
+    dtype = _smallest_int_dtype(int(column.min()), int(column.max()))
+    return "plain", np.ascontiguousarray(column.astype(dtype)).tobytes(), {"dtype": dtype.str}
+
+
+def _encode_rle(column: np.ndarray) -> Tuple[str, bytes, dict]:
+    change = np.empty(column.shape[0], dtype=bool)
+    change[0] = True
+    change[1:] = column[1:] != column[:-1]
+    starts = np.flatnonzero(change)
+    values = column[starts]
+    lengths = np.diff(np.append(starts, column.shape[0]))
+    value_dtype = _smallest_int_dtype(int(values.min()), int(values.max()))
+    length_dtype = _smallest_uint_dtype(int(lengths.max()))
+    payload = (
+        np.ascontiguousarray(values.astype(value_dtype)).tobytes()
+        + np.ascontiguousarray(lengths.astype(length_dtype)).tobytes()
+    )
+    meta = {
+        "runs": int(values.shape[0]),
+        "value_dtype": value_dtype.str,
+        "length_dtype": length_dtype.str,
+    }
+    return "rle", payload, meta
+
+
+def _encode_dictionary(column: np.ndarray) -> Tuple[str, bytes, dict]:
+    values, codes = np.unique(column, return_inverse=True)
+    code_dtype = _smallest_uint_dtype(int(values.shape[0]))
+    value_dtype = _smallest_int_dtype(int(values.min()), int(values.max()))
+    payload = (
+        np.ascontiguousarray(values.astype(value_dtype)).tobytes()
+        + np.ascontiguousarray(codes.astype(code_dtype)).tobytes()
+    )
+    meta = {
+        "cardinality": int(values.shape[0]),
+        "value_dtype": value_dtype.str,
+        "code_dtype": code_dtype.str,
+    }
+    return "dictionary", payload, meta
+
+
+def _decode_column(encoding: str, payload: bytes, meta: dict, n: int) -> np.ndarray:
+    if encoding == "plain":
+        return np.frombuffer(payload, dtype=np.dtype(meta["dtype"])).astype(np.int64)
+    if encoding == "rle":
+        value_dtype = np.dtype(meta["value_dtype"])
+        length_dtype = np.dtype(meta["length_dtype"])
+        runs = meta["runs"]
+        values = np.frombuffer(payload[: runs * value_dtype.itemsize], dtype=value_dtype)
+        lengths = np.frombuffer(payload[runs * value_dtype.itemsize :], dtype=length_dtype)
+        return np.repeat(values.astype(np.int64), lengths.astype(np.int64))
+    if encoding == "dictionary":
+        value_dtype = np.dtype(meta["value_dtype"])
+        code_dtype = np.dtype(meta["code_dtype"])
+        cardinality = meta["cardinality"]
+        values = np.frombuffer(payload[: cardinality * value_dtype.itemsize], dtype=value_dtype)
+        codes = np.frombuffer(payload[cardinality * value_dtype.itemsize :], dtype=code_dtype)
+        return values.astype(np.int64)[codes.astype(np.int64)]
+    raise ValueError(f"unknown column encoding {encoding!r}")
+
+
+class ColumnarStore(BaselineStore):
+    """Columnar row-group format with per-column light encodings ("Parquet")."""
+
+    name = "Parquet"
+    compress_chunks = False
+    compression_level = 6
+
+    def __init__(self, row_group_size: int = 65536):
+        self.row_group_size = int(row_group_size)
+
+    def encode(self, rows: np.ndarray) -> bytes:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 2:
+            rows = rows.reshape(-1, 1)
+        n, ncols = rows.shape
+        groups = []
+        blocks: List[bytes] = []
+        for start in range(0, max(n, 1), self.row_group_size):
+            chunk = rows[start : start + self.row_group_size]
+            group_meta = {"rows": int(chunk.shape[0]), "columns": []}
+            for col in range(ncols):
+                column = chunk[:, col]
+                if column.size == 0:
+                    encoding, payload, meta = "plain", b"", {"dtype": "<i8"}
+                else:
+                    candidates = [
+                        _encode_plain(column),
+                        _encode_rle(column),
+                        _encode_dictionary(column),
+                    ]
+                    encoding, payload, meta = min(candidates, key=lambda c: len(c[1]))
+                if self.compress_chunks:
+                    payload = zlib.compress(payload, self.compression_level)
+                group_meta["columns"].append({"encoding": encoding, "meta": meta})
+                blocks.append(payload)
+            groups.append(group_meta)
+        header = {"n": int(n), "ncols": int(ncols), "groups": groups, "gzip": self.compress_chunks}
+        return _pack_blocks(header, blocks)
+
+    def decode(self, data: bytes) -> np.ndarray:
+        header, blocks = _unpack_blocks(data)
+        n, ncols = header["n"], header["ncols"]
+        out = np.empty((n, ncols), dtype=np.int64)
+        block_idx = 0
+        row_offset = 0
+        for group in header["groups"]:
+            rows_in_group = group["rows"]
+            for col, column_meta in enumerate(group["columns"]):
+                payload = blocks[block_idx]
+                block_idx += 1
+                if header.get("gzip"):
+                    payload = zlib.decompress(payload)
+                column = _decode_column(
+                    column_meta["encoding"], payload, column_meta["meta"], rows_in_group
+                )
+                out[row_offset : row_offset + rows_in_group, col] = column
+            row_offset += rows_in_group
+        return out
+
+
+class ColumnarGzipStore(ColumnarStore):
+    """Columnar format with GZip applied to every column chunk ("Parquet-GZip")."""
+
+    name = "Parquet-GZip"
+    compress_chunks = True
+
+
+class TurboRCStore(BaselineStore):
+    """Run-length encoding + integer entropy coding per column ("Turbo-RC").
+
+    The entropy stage is zlib (DEFLATE's Huffman coder) applied to the
+    run-length buffers, standing in for the TurboPFor-style range coder the
+    paper uses; the pipeline (RLE first, entropy second, per column) is the
+    same.
+    """
+
+    name = "Turbo-RC"
+
+    def __init__(self, compression_level: int = 9):
+        self.compression_level = int(compression_level)
+
+    def encode(self, rows: np.ndarray) -> bytes:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 2:
+            rows = rows.reshape(-1, 1)
+        n, ncols = rows.shape
+        blocks = []
+        columns_meta = []
+        for col in range(ncols):
+            column = rows[:, col]
+            if column.size == 0:
+                blocks.append(b"")
+                columns_meta.append({"meta": {"runs": 0, "value_dtype": "<i8", "length_dtype": "<u1"}})
+                continue
+            _, payload, meta = _encode_rle(column)
+            blocks.append(zlib.compress(payload, self.compression_level))
+            columns_meta.append({"meta": meta})
+        header = {"n": int(n), "ncols": int(ncols), "columns": columns_meta}
+        return _pack_blocks(header, blocks)
+
+    def decode(self, data: bytes) -> np.ndarray:
+        header, blocks = _unpack_blocks(data)
+        n, ncols = header["n"], header["ncols"]
+        out = np.empty((n, ncols), dtype=np.int64)
+        for col in range(ncols):
+            meta = header["columns"][col]["meta"]
+            if meta["runs"] == 0:
+                continue
+            payload = zlib.decompress(blocks[col])
+            out[:, col] = _decode_column("rle", payload, meta, n)
+        return out
+
+
+def all_baseline_stores() -> Dict[str, BaselineStore]:
+    """The baseline formats of Table VII, keyed by their display name."""
+    stores = [RawStore(), ArrayStore(), ColumnarStore(), ColumnarGzipStore(), TurboRCStore()]
+    return {store.name: store for store in stores}

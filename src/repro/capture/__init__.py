@@ -1,0 +1,54 @@
+"""Prototype lineage capture methods (Section VII.A of the paper).
+
+* :mod:`repro.capture.tracked` — cell-level numpy tracking (``tracked_cell``).
+* :mod:`repro.capture.analytic` — vectorized analytic lineage builders.
+* :mod:`repro.capture.numpy_catalog` — the 136-operation numpy catalog.
+* :mod:`repro.capture.explain` — LIME / D-RISE style explainable-AI capture.
+* :mod:`repro.capture.relational` — group-by and inner-join capture.
+"""
+
+from .analytic import (
+    axis_reduction_lineage,
+    cumulative_lineage,
+    elementwise_lineage,
+    full_reduction_lineage,
+    matmat_lineage,
+    matvec_lineage,
+    outer_lineage,
+    repetition_lineage,
+    row_pattern_lineage,
+    selection_lineage,
+    window_lineage,
+)
+from .explain import SyntheticDetector, drise_capture, lime_capture, synthetic_frame
+from .numpy_catalog import CatalogOp, build_catalog, complex_ops, element_ops, pipeline_ops
+from .relational import filter_rows_capture, group_by_capture, inner_join_capture
+from .tracked import TrackedArray, track_operation
+
+__all__ = [
+    "TrackedArray",
+    "track_operation",
+    "elementwise_lineage",
+    "full_reduction_lineage",
+    "axis_reduction_lineage",
+    "cumulative_lineage",
+    "selection_lineage",
+    "window_lineage",
+    "matvec_lineage",
+    "matmat_lineage",
+    "outer_lineage",
+    "repetition_lineage",
+    "row_pattern_lineage",
+    "CatalogOp",
+    "build_catalog",
+    "element_ops",
+    "complex_ops",
+    "pipeline_ops",
+    "SyntheticDetector",
+    "lime_capture",
+    "drise_capture",
+    "synthetic_frame",
+    "inner_join_capture",
+    "group_by_capture",
+    "filter_rows_capture",
+]

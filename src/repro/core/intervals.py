@@ -1,0 +1,187 @@
+"""Closed integer intervals and axis-aligned integer boxes.
+
+These are the primitive value types used throughout the ProvRC compressed
+representation and the in-situ query processor.  An :class:`Interval` is a
+closed range ``[lo, hi]`` of integers (both ends inclusive, matching the
+paper's ``[low, high]`` notation).  A :class:`Box` is a tuple of intervals,
+one per array axis, and describes a rectangular set of array cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+__all__ = [
+    "Interval",
+    "Box",
+    "ranges_from_integers",
+    "merge_adjacent_intervals",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
+
+    @classmethod
+    def point(cls, value: int) -> "Interval":
+        """Return the degenerate interval containing a single integer."""
+        return cls(value, value)
+
+    def __len__(self) -> int:
+        return self.hi - self.lo + 1
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.lo, self.hi + 1))
+
+    @property
+    def is_point(self) -> bool:
+        """Whether the interval contains exactly one integer."""
+        return self.lo == self.hi
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Return the intersection with *other*, or ``None`` if disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two intervals share at least one integer."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def touches(self, other: "Interval") -> bool:
+        """Whether the intervals overlap or are adjacent (mergeable)."""
+        return self.lo <= other.hi + 1 and other.lo <= self.hi + 1
+
+    def union_hull(self, other: "Interval") -> "Interval":
+        """Return the smallest interval containing both intervals."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def shift(self, delta: int) -> "Interval":
+        """Return the interval translated by *delta*."""
+        return Interval(self.lo + delta, self.hi + delta)
+
+    def add(self, other: "Interval") -> "Interval":
+        """Minkowski sum ``{x + y | x in self, y in other}``."""
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def to_tuple(self) -> Tuple[int, int]:
+        return (self.lo, self.hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_point:
+            return f"[{self.lo}]"
+        return f"[{self.lo},{self.hi}]"
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned rectangular set of integer index tuples."""
+
+    intervals: Tuple[Interval, ...]
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "Box":
+        return cls(tuple(Interval(lo, hi) for lo, hi in pairs))
+
+    @classmethod
+    def from_cell(cls, cell: Sequence[int]) -> "Box":
+        return cls(tuple(Interval.point(int(v)) for v in cell))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.intervals)
+
+    def __len__(self) -> int:
+        count = 1
+        for interval in self.intervals:
+            count *= len(interval)
+        return count
+
+    def __contains__(self, cell: Sequence[int]) -> bool:
+        if len(cell) != self.ndim:
+            return False
+        return all(int(v) in interval for v, interval in zip(cell, self.intervals))
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self.cells())
+
+    def cells(self) -> Iterator[Tuple[int, ...]]:
+        """Yield every index tuple contained in the box."""
+
+        def recurse(prefix: Tuple[int, ...], rest: Tuple[Interval, ...]):
+            if not rest:
+                yield prefix
+                return
+            head, tail = rest[0], rest[1:]
+            for value in head:
+                yield from recurse(prefix + (value,), tail)
+
+        yield from recurse((), self.intervals)
+
+    def intersect(self, other: "Box") -> "Box | None":
+        """Return the intersection box, or ``None`` if the boxes are disjoint."""
+        if self.ndim != other.ndim:
+            raise ValueError("cannot intersect boxes of different dimensionality")
+        out = []
+        for left, right in zip(self.intervals, other.intervals):
+            overlap = left.intersect(right)
+            if overlap is None:
+                return None
+            out.append(overlap)
+        return Box(tuple(out))
+
+    def to_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(interval.to_tuple() for interval in self.intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Box(" + " x ".join(repr(i) for i in self.intervals) + ")"
+
+
+def ranges_from_integers(values: Iterable[int]) -> list[Interval]:
+    """Encode a set of integers as a minimal list of disjoint intervals.
+
+    This is the single-attribute range encoding primitive from Section IV
+    of the paper, e.g. ``{1, 2, 3, 4, 9, 12, 13, 14, 15}`` becomes
+    ``[[1, 4], [9, 9], [12, 15]]``.
+    """
+    ordered = sorted(set(int(v) for v in values))
+    if not ordered:
+        return []
+    out: list[Interval] = []
+    lo = hi = ordered[0]
+    for value in ordered[1:]:
+        if value == hi + 1:
+            hi = value
+        else:
+            out.append(Interval(lo, hi))
+            lo = hi = value
+    out.append(Interval(lo, hi))
+    return out
+
+
+def merge_adjacent_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Coalesce overlapping or adjacent intervals into a minimal disjoint list."""
+    ordered = sorted(intervals, key=lambda i: (i.lo, i.hi))
+    if not ordered:
+        return []
+    out = [ordered[0]]
+    for interval in ordered[1:]:
+        if out[-1].touches(interval):
+            out[-1] = out[-1].union_hull(interval)
+        else:
+            out.append(interval)
+    return out

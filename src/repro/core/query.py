@@ -1,0 +1,346 @@
+"""In-situ query processing over ProvRC-compressed lineage (Section V).
+
+Forward and backward ``prov_query`` calls over a path of arrays are chains
+of θ-joins executed directly on the compressed tables:
+
+1. **Range join** — the query (itself encoded as a set of index boxes) is
+   intersected with each compressed row's key intervals; any overlap joins.
+2. **De-relativization** — relative value attributes are converted back to
+   absolute intervals using ``rel_back`` (value = key-intersection + delta),
+   without ever expanding intervals into individual cells.
+3. **Projection + merge** — the result is projected onto the next array's
+   axes and adjacent boxes are coalesced with a range-encoding-style merge
+   before the next hop (the "DSLog-NoMerge" ablation skips this step).
+
+No decompression of the lineage tables happens at any point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .compressed import KIND_REL, CompressedLineage
+from .intervals import Box, Interval
+
+__all__ = ["CellBoxSet", "HopStats", "QueryResult", "theta_join", "execute_path", "merge_boxes"]
+
+Cell = Tuple[int, ...]
+
+
+# ----------------------------------------------------------------------
+# box sets
+# ----------------------------------------------------------------------
+class CellBoxSet:
+    """A set of array cells represented as a union of index boxes.
+
+    This is the compressed query encoding ``Q'`` of the paper: both the
+    user's ``query_cells`` argument and every intermediate θ-join result are
+    kept in this form so the whole pipeline stays in the compressed domain.
+    """
+
+    def __init__(self, array_name: str, shape: Tuple[int, ...], lo: np.ndarray, hi: np.ndarray):
+        self.array_name = array_name
+        self.shape = tuple(int(d) for d in shape)
+        ndim = len(self.shape)
+        lo = np.asarray(lo, dtype=np.int64).reshape(-1, ndim) if np.size(lo) else np.empty((0, ndim), np.int64)
+        hi = np.asarray(hi, dtype=np.int64).reshape(-1, ndim) if np.size(hi) else np.empty((0, ndim), np.int64)
+        if lo.shape != hi.shape:
+            raise ValueError("lo and hi must have the same shape")
+        self.lo = lo
+        self.hi = hi
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def empty(cls, array_name: str, shape: Sequence[int]) -> "CellBoxSet":
+        ndim = len(shape)
+        return cls(array_name, tuple(shape), np.empty((0, ndim), np.int64), np.empty((0, ndim), np.int64))
+
+    @classmethod
+    def from_cells(cls, array_name: str, shape: Sequence[int], cells: Iterable[Cell]) -> "CellBoxSet":
+        cells = [tuple(int(v) for v in cell) for cell in cells]
+        if not cells:
+            return cls.empty(array_name, shape)
+        arr = np.asarray(cells, dtype=np.int64)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        box_set = cls(array_name, tuple(shape), arr.copy(), arr.copy())
+        return box_set.merged()
+
+    @classmethod
+    def from_boxes(
+        cls, array_name: str, shape: Sequence[int], boxes: Iterable[Sequence[Tuple[int, int]]]
+    ) -> "CellBoxSet":
+        boxes = list(boxes)
+        if not boxes:
+            return cls.empty(array_name, shape)
+        lo = np.asarray([[pair[0] for pair in box] for box in boxes], dtype=np.int64)
+        hi = np.asarray([[pair[1] for pair in box] for box in boxes], dtype=np.int64)
+        return cls(array_name, tuple(shape), lo, hi)
+
+    @classmethod
+    def from_slices(
+        cls, array_name: str, shape: Sequence[int], slices: Sequence[slice]
+    ) -> "CellBoxSet":
+        """Build a single box from per-axis slices (stop is exclusive, numpy-style)."""
+        pairs = []
+        for dim, sl in zip(shape, slices):
+            start = 0 if sl.start is None else int(sl.start)
+            stop = int(dim) if sl.stop is None else int(sl.stop)
+            pairs.append((start, stop - 1))
+        return cls.from_boxes(array_name, shape, [pairs])
+
+    # -- basic protocol ---------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def __len__(self) -> int:
+        return int(self.lo.shape[0])
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def boxes(self) -> List[Box]:
+        return [
+            Box(tuple(Interval(int(l), int(h)) for l, h in zip(self.lo[i], self.hi[i])))
+            for i in range(len(self))
+        ]
+
+    def to_cells(self) -> Set[Cell]:
+        """Expand to the explicit set of cells (use only for small results)."""
+        out: Set[Cell] = set()
+        for box in self.boxes():
+            out.update(box.cells())
+        return out
+
+    def to_mask(self) -> np.ndarray:
+        """Return a boolean mask over the array shape marking member cells."""
+        mask = np.zeros(self.shape, dtype=bool)
+        for i in range(len(self)):
+            index = tuple(
+                slice(int(self.lo[i, d]), int(self.hi[i, d]) + 1) for d in range(self.ndim)
+            )
+            mask[index] = True
+        return mask
+
+    def count_cells(self) -> int:
+        """Exact number of distinct cells covered by the boxes."""
+        if self.is_empty():
+            return 0
+        total_cells = int(np.prod(self.shape))
+        if total_cells <= 50_000_000:
+            return int(self.to_mask().sum())
+        return len(self.to_cells())
+
+    def clipped(self) -> "CellBoxSet":
+        """Clip boxes to the array bounds, dropping boxes that fall outside."""
+        if self.is_empty():
+            return self
+        bounds = np.asarray(self.shape, dtype=np.int64) - 1
+        lo = np.maximum(self.lo, 0)
+        hi = np.minimum(self.hi, bounds)
+        keep = (lo <= hi).all(axis=1)
+        return CellBoxSet(self.array_name, self.shape, lo[keep], hi[keep])
+
+    def merged(self) -> "CellBoxSet":
+        """Coalesce duplicate and adjacent boxes (the merge optimization)."""
+        if self.is_empty():
+            return self
+        lo, hi = merge_boxes(self.lo, self.hi)
+        return CellBoxSet(self.array_name, self.shape, lo, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CellBoxSet({self.array_name}, boxes={len(self)})"
+
+
+def merge_boxes(lo: np.ndarray, hi: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Coalesce boxes with a range-encoding-style sweep.
+
+    Duplicate boxes are removed, then for each axis in turn boxes that agree
+    on every other axis and overlap or touch on that axis are merged.  This
+    mirrors the row-reduction DSLog applies between θ-joins.
+    """
+    if lo.shape[0] == 0:
+        return lo, hi
+    stacked = np.concatenate([lo, hi], axis=1)
+    stacked = np.unique(stacked, axis=0)
+    ndim = lo.shape[1]
+    lo = stacked[:, :ndim].copy()
+    hi = stacked[:, ndim:].copy()
+
+    for axis in range(ndim - 1, -1, -1):
+        if lo.shape[0] <= 1:
+            break
+        sort_cols: List[np.ndarray] = [lo[:, axis]]
+        for other in range(ndim - 1, -1, -1):
+            if other == axis:
+                continue
+            sort_cols.append(hi[:, other])
+            sort_cols.append(lo[:, other])
+        order = np.lexsort(sort_cols)
+        lo, hi = lo[order], hi[order]
+
+        same_other = np.ones(lo.shape[0], dtype=bool)
+        same_other[0] = False
+        for other in range(ndim):
+            if other == axis:
+                continue
+            same_other[1:] &= lo[1:, other] == lo[:-1, other]
+            same_other[1:] &= hi[1:, other] == hi[:-1, other]
+
+        # Boxes inside a group (identical on every other axis) are sorted by
+        # their start on *axis*; a box joins the running merged interval when
+        # it overlaps or touches the running end.  The running end must reset
+        # per group, so this reduction is a short sequential sweep.
+        keep_rows: List[int] = []
+        merged_hi: List[int] = []
+        for t in range(lo.shape[0]):
+            if t > 0 and same_other[t] and int(lo[t, axis]) <= merged_hi[-1] + 1:
+                merged_hi[-1] = max(merged_hi[-1], int(hi[t, axis]))
+            else:
+                keep_rows.append(t)
+                merged_hi.append(int(hi[t, axis]))
+        lo = lo[keep_rows].copy()
+        hi = hi[keep_rows].copy()
+        hi[:, axis] = np.asarray(merged_hi, dtype=np.int64)
+    return lo, hi
+
+
+# ----------------------------------------------------------------------
+# θ-join
+# ----------------------------------------------------------------------
+@dataclass
+class HopStats:
+    """Per-hop statistics of a path query (used by the benchmark harness)."""
+
+    array_from: str
+    array_to: str
+    rows_scanned: int
+    boxes_in: int
+    boxes_out_raw: int
+    boxes_out_merged: int
+    seconds: float
+
+
+@dataclass
+class QueryResult:
+    """Result of a path query: the final cell boxes plus per-hop statistics."""
+
+    cells: CellBoxSet
+    hops: List[HopStats] = field(default_factory=list)
+
+    def to_cells(self) -> Set[Cell]:
+        return self.cells.to_cells()
+
+    def count_cells(self) -> int:
+        return self.cells.count_cells()
+
+
+def theta_join(
+    query: CellBoxSet,
+    table: CompressedLineage,
+    merge: bool = True,
+) -> CellBoxSet:
+    """One θ-join of a query box set against a compressed lineage table.
+
+    The table's key side must correspond to the query's array; the result is
+    a box set over the table's value-side array.
+    """
+    if table.key_name != query.array_name:
+        raise ValueError(
+            f"table is keyed on array {table.key_name!r} but the query targets {query.array_name!r}"
+        )
+    if table.key_ndim != query.ndim:
+        raise ValueError("query dimensionality does not match the table's key arity")
+
+    n_rows = len(table)
+    value_ndim = table.value_ndim
+    out_lo_parts: List[np.ndarray] = []
+    out_hi_parts: List[np.ndarray] = []
+
+    key_lo, key_hi = table.key_lo, table.key_hi
+    val_kind, val_ref = table.val_kind, table.val_ref
+    val_lo, val_hi = table.val_lo, table.val_hi
+
+    for qi in range(len(query)):
+        if n_rows == 0:
+            break
+        q_lo = query.lo[qi]
+        q_hi = query.hi[qi]
+        inter_lo = np.maximum(key_lo, q_lo[None, :])
+        inter_hi = np.minimum(key_hi, q_hi[None, :])
+        matched = (inter_lo <= inter_hi).all(axis=1)
+        if not matched.any():
+            continue
+        inter_lo = inter_lo[matched]
+        inter_hi = inter_hi[matched]
+        row_kind = val_kind[matched]
+        row_ref = val_ref[matched]
+        row_vlo = val_lo[matched]
+        row_vhi = val_hi[matched]
+
+        res_lo = np.empty_like(row_vlo)
+        res_hi = np.empty_like(row_vhi)
+        for i in range(value_ndim):
+            is_rel = row_kind[:, i] == KIND_REL
+            res_lo[:, i] = row_vlo[:, i]
+            res_hi[:, i] = row_vhi[:, i]
+            if is_rel.any():
+                refs = row_ref[is_rel, i]
+                rel_rows = np.flatnonzero(is_rel)
+                # rel_back: absolute = key intersection + delta, applied per row
+                res_lo[rel_rows, i] = inter_lo[rel_rows, refs] + row_vlo[rel_rows, i]
+                res_hi[rel_rows, i] = inter_hi[rel_rows, refs] + row_vhi[rel_rows, i]
+        out_lo_parts.append(res_lo)
+        out_hi_parts.append(res_hi)
+
+    if not out_lo_parts:
+        return CellBoxSet.empty(table.value_name, table.value_shape)
+    lo = np.concatenate(out_lo_parts, axis=0)
+    hi = np.concatenate(out_hi_parts, axis=0)
+    result = CellBoxSet(table.value_name, table.value_shape, lo, hi).clipped()
+    if merge:
+        result = result.merged()
+    return result
+
+
+def execute_path(
+    tables: Sequence[CompressedLineage],
+    query: CellBoxSet,
+    merge: bool = True,
+) -> QueryResult:
+    """Run a multi-hop path query with a left-to-right plan of θ-joins.
+
+    ``tables[i]`` must be keyed on the array produced by hop ``i - 1`` (or
+    the initial query array for ``i = 0``); DSLog's catalog takes care of
+    picking the right backward/forward orientation for each hop.
+    """
+    current = query
+    hops: List[HopStats] = []
+    for table in tables:
+        start = time.perf_counter()
+        boxes_in = len(current)
+        joined = theta_join(current, table, merge=False)
+        raw_boxes = len(joined)
+        if merge:
+            joined = joined.merged()
+        elapsed = time.perf_counter() - start
+        hops.append(
+            HopStats(
+                array_from=table.key_name,
+                array_to=table.value_name,
+                rows_scanned=len(table),
+                boxes_in=boxes_in,
+                boxes_out_raw=raw_boxes,
+                boxes_out_merged=len(joined),
+                seconds=elapsed,
+            )
+        )
+        current = joined
+        if current.is_empty():
+            break
+    return QueryResult(cells=current, hops=hops)

@@ -1,0 +1,54 @@
+"""Brute-force reference implementations of lineage queries.
+
+These set-based routines define the ground truth that both the in-situ
+query processor and every baseline must agree with.  They are deliberately
+simple (hash joins over Python sets) and are used in tests and as the "Raw"
+query strategy of the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from .relation import LineageRelation
+
+__all__ = ["query_path_reference", "single_hop_reference"]
+
+Cell = Tuple[int, ...]
+
+
+def single_hop_reference(
+    relation: LineageRelation, cells: Iterable[Cell], direction: str
+) -> Set[Cell]:
+    """Answer a one-hop query with a brute-force scan.
+
+    ``direction`` is ``"backward"`` when *cells* index the output array and
+    the query asks for contributing input cells, ``"forward"`` for the
+    reverse.
+    """
+    if direction == "backward":
+        return relation.backward(cells)
+    if direction == "forward":
+        return relation.forward(cells)
+    raise ValueError("direction must be 'forward' or 'backward'")
+
+
+def query_path_reference(
+    relations: Sequence[LineageRelation],
+    directions: Sequence[str],
+    query_cells: Iterable[Cell],
+) -> Set[Cell]:
+    """Answer a multi-hop path query by chaining brute-force hops.
+
+    ``relations[i]`` links the ``i``-th and ``i+1``-th array in the path and
+    ``directions[i]`` states whether that hop follows the relation forward
+    (input array appears first in the path) or backward.
+    """
+    if len(relations) != len(directions):
+        raise ValueError("relations and directions must have the same length")
+    frontier: Set[Cell] = {tuple(int(v) for v in cell) for cell in query_cells}
+    for relation, direction in zip(relations, directions):
+        frontier = single_hop_reference(relation, frontier, direction)
+        if not frontier:
+            break
+    return frontier

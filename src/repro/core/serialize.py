@@ -1,0 +1,137 @@
+"""Serialization of ProvRC tables and the ProvRC-GZip variant.
+
+The on-disk format is a compact self-describing binary: a JSON header
+(array names, shapes, axis names, key orientation, column dtypes) followed
+by the raw bytes of each columnar array, each downcast to the smallest
+integer dtype that can represent its values.  ``ProvRC-GZip`` (the format
+DSLog uses by default, Section VII.B) is simply this payload passed through
+zlib, mirroring how the paper stacks GZip on top of the main algorithm.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .compressed import CompressedLineage
+
+__all__ = [
+    "serialize_compressed",
+    "deserialize_compressed",
+    "serialize_compressed_gzip",
+    "deserialize_compressed_gzip",
+    "write_compressed",
+    "read_compressed",
+]
+
+_MAGIC = b"PRVC"
+_COLUMNS = ("key_lo", "key_hi", "val_kind", "val_ref", "val_lo", "val_hi")
+
+
+def _smallest_int_dtype(array: np.ndarray) -> np.dtype:
+    """Pick the narrowest signed integer dtype that can hold *array*."""
+    if array.size == 0:
+        return np.dtype(np.int8)
+    lo = int(array.min())
+    hi = int(array.max())
+    for dtype in (np.int8, np.int16, np.int32, np.int64):
+        info = np.iinfo(dtype)
+        if info.min <= lo and hi <= info.max:
+            return np.dtype(dtype)
+    return np.dtype(np.int64)
+
+
+def serialize_compressed(table: CompressedLineage) -> bytes:
+    """Serialize a compressed lineage table to bytes (no general compression)."""
+    columns = {}
+    payload = bytearray()
+    for name in _COLUMNS:
+        array = getattr(table, name)
+        dtype = _smallest_int_dtype(array)
+        cast = np.ascontiguousarray(array.astype(dtype))
+        columns[name] = {"dtype": dtype.str, "shape": list(cast.shape)}
+        payload.extend(cast.tobytes())
+    header = {
+        "key_side": table.key_side,
+        "out_name": table.out_name,
+        "in_name": table.in_name,
+        "out_shape": list(table.out_shape),
+        "in_shape": list(table.in_shape),
+        "out_axes": list(table.out_axes),
+        "in_axes": list(table.in_axes),
+        "columns": columns,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return _MAGIC + struct.pack("<I", len(header_bytes)) + header_bytes + bytes(payload)
+
+
+def deserialize_compressed(data: bytes) -> CompressedLineage:
+    """Inverse of :func:`serialize_compressed`."""
+    if data[:4] != _MAGIC:
+        raise ValueError("not a ProvRC serialized table")
+    (header_len,) = struct.unpack("<I", data[4:8])
+    header = json.loads(data[8 : 8 + header_len].decode("utf-8"))
+    offset = 8 + header_len
+    arrays = {}
+    for name in _COLUMNS:
+        meta = header["columns"][name]
+        dtype = np.dtype(meta["dtype"])
+        shape = tuple(meta["shape"])
+        count = int(np.prod(shape)) if shape else 0
+        nbytes = count * dtype.itemsize
+        arr = np.frombuffer(data[offset : offset + nbytes], dtype=dtype).reshape(shape)
+        arrays[name] = arr.astype(np.int64)
+        offset += nbytes
+    return CompressedLineage(
+        key_side=header["key_side"],
+        out_name=header["out_name"],
+        in_name=header["in_name"],
+        out_shape=tuple(header["out_shape"]),
+        in_shape=tuple(header["in_shape"]),
+        key_lo=arrays["key_lo"],
+        key_hi=arrays["key_hi"],
+        val_kind=arrays["val_kind"],
+        val_ref=arrays["val_ref"],
+        val_lo=arrays["val_lo"],
+        val_hi=arrays["val_hi"],
+        out_axes=tuple(header["out_axes"]),
+        in_axes=tuple(header["in_axes"]),
+    )
+
+
+def serialize_compressed_gzip(table: CompressedLineage, level: int = 6) -> bytes:
+    """ProvRC-GZip: zlib applied to the ProvRC serialization."""
+    return zlib.compress(serialize_compressed(table), level)
+
+
+def deserialize_compressed_gzip(data: bytes) -> CompressedLineage:
+    return deserialize_compressed(zlib.decompress(data))
+
+
+def write_compressed(
+    table: CompressedLineage,
+    path: Union[str, Path],
+    gzip: bool = False,
+) -> int:
+    """Write a table to disk and return the file size in bytes."""
+    data = serialize_compressed_gzip(table) if gzip else serialize_compressed(table)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(data)
+    return len(data)
+
+
+def read_compressed(path: Union[str, Path], gzip: Optional[bool] = None) -> CompressedLineage:
+    """Read a table written by :func:`write_compressed`.
+
+    When *gzip* is ``None`` the format is sniffed from the magic bytes.
+    """
+    data = Path(path).read_bytes()
+    if gzip is None:
+        gzip = data[:4] != _MAGIC
+    return deserialize_compressed_gzip(data) if gzip else deserialize_compressed(data)

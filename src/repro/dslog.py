@@ -1,0 +1,338 @@
+"""DSLog: the lineage storage, query and reuse manager (the paper's system).
+
+This module exposes the public API described in Section III of the paper:
+
+* :meth:`DSLog.define_array` — declare a tracked array with a shape.
+* :meth:`DSLog.add_lineage` — ingest the lineage between two arrays, either
+  from an explicit :class:`~repro.core.relation.LineageRelation` or from a
+  capture callable (``capture(out_cell) -> input cells``).
+* :meth:`DSLog.register_operation` — ingest the lineage of a whole operation
+  (one relation per input/output array pair), with optional automatic reuse
+  of previously captured lineage (``base_sig`` / ``dim_sig`` / ``gen_sig``).
+* :meth:`DSLog.prov_query` — forward/backward lineage queries along a path
+  of arrays, answered in situ over the compressed tables.
+
+Lineage is compressed with ProvRC on ingest and never decompressed for
+query processing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .core.compressed import CompressedLineage
+from .core.query import CellBoxSet, QueryResult, execute_path
+from .core.relation import LineageRelation
+from .core.serialize import write_compressed
+from .reuse.signatures import OperationSignature, ReuseManager
+from .storage.catalog import ArrayInfo, Catalog, LineageEntry, OperationRecord
+
+__all__ = ["DSLog"]
+
+Cell = Tuple[int, ...]
+CaptureFn = Callable[[Cell], Iterable[Cell]]
+
+
+class DSLog:
+    """The DSLog lineage index.
+
+    Parameters
+    ----------
+    root:
+        Optional directory; when given, every ingested backward table is
+        also flushed to disk (ProvRC-GZip by default) so file sizes can be
+        inspected the same way the paper measures them.
+    gzip:
+        Whether on-disk tables use the ProvRC-GZip format (the default in
+        the paper's prototype).
+    reuse_confirmations:
+        The ``m`` parameter of the automatic reuse predictor.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        gzip: bool = True,
+        reuse_confirmations: int = 1,
+    ) -> None:
+        self.catalog = Catalog()
+        self.reuse = ReuseManager(confirmations_required=reuse_confirmations)
+        self.root = Path(root) if root is not None else None
+        self.gzip = gzip
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # array + lineage definition
+    # ------------------------------------------------------------------
+    def define_array(self, name: str, shape: Sequence[int]) -> ArrayInfo:
+        """Declare a tracked array (the ``Array(name, shape)`` API call)."""
+        return self.catalog.define_array(name, tuple(shape))
+
+    def add_lineage(
+        self,
+        in_arr: str,
+        out_arr: str,
+        relation: Optional[LineageRelation] = None,
+        capture: Optional[CaptureFn] = None,
+        op_name: Optional[str] = None,
+    ) -> LineageEntry:
+        """Ingest lineage between two tracked arrays (the ``Lineage`` API call)."""
+        in_info = self.catalog.array(in_arr)
+        out_info = self.catalog.array(out_arr)
+        if relation is None:
+            if capture is None:
+                raise ValueError("either a relation or a capture callable is required")
+            relation = LineageRelation.from_capture(
+                capture,
+                out_shape=out_info.shape,
+                in_shape=in_info.shape,
+                out_name=out_arr,
+                in_name=in_arr,
+            )
+        else:
+            relation = self._renamed(relation, in_arr, out_arr, in_info, out_info)
+        entry = self.catalog.add_relation(relation, op_name=op_name)
+        self._flush(entry)
+        return entry
+
+    @staticmethod
+    def _renamed(
+        relation: LineageRelation,
+        in_arr: str,
+        out_arr: str,
+        in_info: ArrayInfo,
+        out_info: ArrayInfo,
+    ) -> LineageRelation:
+        if relation.in_shape != in_info.shape or relation.out_shape != out_info.shape:
+            raise ValueError(
+                "relation shapes do not match the declared array shapes: "
+                f"{relation.in_shape}->{relation.out_shape} vs "
+                f"{in_info.shape}->{out_info.shape}"
+            )
+        return LineageRelation(
+            out_shape=relation.out_shape,
+            in_shape=relation.in_shape,
+            rows=relation.rows,
+            out_name=out_arr,
+            in_name=in_arr,
+            out_axes=relation.out_axes,
+            in_axes=relation.in_axes,
+        )
+
+    # ------------------------------------------------------------------
+    # operation registration with reuse
+    # ------------------------------------------------------------------
+    def register_operation(
+        self,
+        op_name: str,
+        in_arrs: Sequence[str],
+        out_arrs: Sequence[str],
+        relations: Optional[Mapping[Tuple[str, str], LineageRelation]] = None,
+        captures: Optional[Mapping[Tuple[str, str], CaptureFn]] = None,
+        input_data: Optional[Mapping[str, np.ndarray]] = None,
+        op_args: Optional[Mapping[str, Any]] = None,
+        reuse: bool = True,
+    ) -> OperationRecord:
+        """Register one executed operation and ingest (or reuse) its lineage.
+
+        ``relations`` and/or ``captures`` provide the lineage for each
+        ``(input array, output array)`` pair; when *reuse* is enabled and a
+        matching signature exists, the capture step is bypassed entirely.
+        ``input_data`` (name → ndarray) is needed for ``base_sig`` matching;
+        when omitted, only shape-based signatures are considered.
+        """
+        in_arrs = tuple(in_arrs)
+        out_arrs = tuple(out_arrs)
+        in_shapes = [self.catalog.array(name).shape for name in in_arrs]
+        out_shapes = [self.catalog.array(name).shape for name in out_arrs]
+
+        if input_data is not None:
+            signature = OperationSignature.build(
+                op_name,
+                [np.asarray(input_data[name]) for name in in_arrs],
+                out_shapes,
+                op_args=op_args,
+            )
+        else:
+            signature = OperationSignature(
+                op_name=op_name,
+                input_fingerprints=tuple("" for _ in in_arrs),
+                in_shapes=tuple(in_shapes),
+                out_shapes=tuple(out_shapes),
+                op_args=OperationSignature.build(op_name, [], [], op_args).op_args,
+            )
+
+        record = OperationRecord(
+            op_name=op_name,
+            in_arrs=in_arrs,
+            out_arrs=out_arrs,
+            op_args=dict(op_args or {}),
+        )
+
+        # Reuse mappings are keyed positionally ((input index, output index))
+        # so that lineage captured under one set of array names can populate
+        # an operation applied to differently named arrays.
+        reused_tables: Optional[Dict[Tuple[int, int], CompressedLineage]] = None
+        if reuse:
+            decision = self.reuse.lookup(signature)
+            if decision.reused:
+                reused_tables = decision.tables
+                record.reuse_level = decision.level
+
+        stored: Dict[Tuple[int, int], CompressedLineage] = {}
+        for in_idx, in_name in enumerate(in_arrs):
+            for out_idx, out_name in enumerate(out_arrs):
+                pair = (in_name, out_name)
+                position = (in_idx, out_idx)
+                if reused_tables is not None and position in reused_tables:
+                    entry = self._store_reused(reused_tables[position], pair, op_name)
+                else:
+                    relation = self._capture_pair(
+                        pair, relations, captures, in_arrs, out_arrs
+                    )
+                    if relation is None:
+                        continue
+                    entry = self.catalog.add_relation(relation, op_name=op_name)
+                    self._flush(entry)
+                stored[position] = entry.backward
+                record.entries.append(pair)
+
+        if reused_tables is None and stored and reuse:
+            self.reuse.observe(signature, stored)
+        self.catalog.add_operation(record)
+        return record
+
+    def _store_reused(self, source: CompressedLineage, pair, op_name) -> LineageEntry:
+        in_name, out_name = pair
+        backward = CompressedLineage(
+            key_side="output",
+            out_name=out_name,
+            in_name=in_name,
+            out_shape=self.catalog.array(out_name).shape,
+            in_shape=self.catalog.array(in_name).shape,
+            key_lo=source.key_lo.copy(),
+            key_hi=source.key_hi.copy(),
+            val_kind=source.val_kind.copy(),
+            val_ref=source.val_ref.copy(),
+            val_lo=source.val_lo.copy(),
+            val_hi=source.val_hi.copy(),
+            out_axes=source.out_axes,
+            in_axes=source.in_axes,
+        )
+        forward = self._reorient(backward)
+        entry = self.catalog.add_compressed(backward, forward, op_name=op_name, reused=True)
+        self._flush(entry)
+        return entry
+
+    @staticmethod
+    def _reorient(backward: CompressedLineage) -> CompressedLineage:
+        """Build the forward orientation by re-compressing the decompressed rows.
+
+        Reused tables arrive only in backward orientation; the forward table
+        is rebuilt once at ingest (never during queries).
+        """
+        from .core.provrc import compress
+
+        return compress(backward.decompress(), key="input")
+
+    def _capture_pair(self, pair, relations, captures, in_arrs, out_arrs):
+        in_name, out_name = pair
+        relation = None
+        if relations is not None and pair in relations:
+            relation = relations[pair]
+        elif relations is not None and len(in_arrs) == 1 and len(out_arrs) == 1 and relations:
+            relation = next(iter(relations.values()))
+        elif captures is not None and pair in captures:
+            relation = LineageRelation.from_capture(
+                captures[pair],
+                out_shape=self.catalog.array(out_name).shape,
+                in_shape=self.catalog.array(in_name).shape,
+                out_name=out_name,
+                in_name=in_name,
+            )
+        if relation is None:
+            return None
+        return self._renamed(
+            relation, in_name, out_name, self.catalog.array(in_name), self.catalog.array(out_name)
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def prov_query(
+        self,
+        path: Sequence[str],
+        query_cells: Union[Iterable[Cell], CellBoxSet, Sequence[slice]],
+        merge: bool = True,
+    ) -> QueryResult:
+        """Lineage query along a path of arrays (``prov_query`` in the paper).
+
+        ``path[0]`` is the array the query cells refer to; the result
+        contains the linked cells of ``path[-1]``.  Forward and backward
+        queries are expressed purely by the order of the path.
+        """
+        if len(path) < 2:
+            raise ValueError("a query path needs at least two arrays")
+        for name in path:
+            self.catalog.array(name)  # raises KeyError for unknown arrays
+
+        tables: List[CompressedLineage] = []
+        for first, second in zip(path, path[1:]):
+            entry, _ = self.catalog.entry_between(first, second)
+            tables.append(entry.table_keyed_on(first))
+
+        query = self._as_box_set(path[0], query_cells)
+        return execute_path(tables, query, merge=merge)
+
+    def _as_box_set(self, array_name: str, query_cells) -> CellBoxSet:
+        info = self.catalog.array(array_name)
+        if isinstance(query_cells, CellBoxSet):
+            if query_cells.array_name != array_name:
+                raise ValueError(
+                    f"query targets array {query_cells.array_name!r} but the path starts at {array_name!r}"
+                )
+            return query_cells
+        query_cells = list(query_cells)
+        if query_cells and isinstance(query_cells[0], slice):
+            return CellBoxSet.from_slices(array_name, info.shape, query_cells)
+        return CellBoxSet.from_cells(array_name, info.shape, query_cells)
+
+    # ------------------------------------------------------------------
+    # storage accounting and persistence
+    # ------------------------------------------------------------------
+    def storage_bytes(self, gzip: Optional[bool] = None) -> int:
+        """Total size of the long-term (backward) tables."""
+        return self.catalog.storage_bytes(gzip=self.gzip if gzip is None else gzip)
+
+    def _flush(self, entry: LineageEntry) -> None:
+        if self.root is None:
+            return
+        filename = f"{entry.in_name}__{entry.out_name}.provrc"
+        if self.gzip:
+            filename += ".gz"
+        write_compressed(entry.backward, self.root / filename, gzip=self.gzip)
+
+    @classmethod
+    def load(cls, root: Union[str, Path], gzip: bool = True) -> "DSLog":
+        """Re-open a DSLog directory written by a previous session.
+
+        Only the long-term backward tables are stored on disk (as in the
+        paper); the forward orientation of each entry is rebuilt once at
+        load time so both query directions are immediately available.
+        """
+        from .core.provrc import compress
+        from .core.serialize import read_compressed
+
+        log = cls(root=root, gzip=gzip)
+        pattern = "*.provrc.gz" if gzip else "*.provrc"
+        for path in sorted(Path(root).glob(pattern)):
+            backward = read_compressed(path)
+            log.catalog.define_array(backward.in_name, backward.in_shape)
+            log.catalog.define_array(backward.out_name, backward.out_shape)
+            forward = compress(backward.decompress(), key="input")
+            log.catalog.add_compressed(backward, forward)
+        return log

@@ -1,0 +1,31 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+* :mod:`repro.experiments.table7_compression` — Table VII (storage size).
+* :mod:`repro.experiments.fig7_compression_latency` — Figure 7 (latency).
+* :mod:`repro.experiments.fig8_query_latency` — Figure 8 (workflow queries).
+* :mod:`repro.experiments.fig9_random_numpy` — Figure 9 (random workflows).
+* :mod:`repro.experiments.table9_coverage` — Table IX (numpy coverage).
+* :mod:`repro.experiments.table10_workflows` — Table X (workflow coverage).
+
+Each module exposes ``run(...)`` returning structured results and a
+``main()`` that prints the paper-style table; run them with
+``python -m repro.experiments.<module>``.
+"""
+
+from . import (
+    fig7_compression_latency,
+    fig8_query_latency,
+    fig9_random_numpy,
+    table7_compression,
+    table9_coverage,
+    table10_workflows,
+)
+
+__all__ = [
+    "table7_compression",
+    "fig7_compression_latency",
+    "fig8_query_latency",
+    "fig9_random_numpy",
+    "table9_coverage",
+    "table10_workflows",
+]

@@ -1,0 +1,121 @@
+"""Figure 8: query latency over the image, relational and ResNet workflows.
+
+Each workflow is loaded once into DSLog (ProvRC tables, in-situ θ-joins) and
+into every baseline database (decode + join per hop); forward queries over a
+sweep of query selectivities (percentage of the initial array's cells) are
+then timed end to end, mirroring the paper's wall-clock measurement from
+query issue to response.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.stores import ColumnarGzipStore, ColumnarStore, RawStore, TurboRCStore
+from ..core.query import CellBoxSet
+from ..workloads.pipelines import Pipeline, image_pipeline, relational_pipeline, resnet_block_pipeline
+from .common import format_table
+
+__all__ = ["run", "main", "SYSTEMS", "query_cells_for_selectivity"]
+
+SYSTEMS = ["DSLog", "Raw", "Parquet", "Parquet-GZip", "Turbo-RC", "Array"]
+
+
+def query_cells_for_selectivity(shape: Tuple[int, ...], selectivity: float, seed: int = 0) -> List[Tuple[int, ...]]:
+    """A contiguous block of cells covering *selectivity* of the array."""
+    total = int(np.prod(shape))
+    count = max(int(total * selectivity), 1)
+    rng = np.random.default_rng(seed)
+    start = int(rng.integers(0, max(total - count, 1)))
+    flat = np.arange(start, start + count)
+    coords = np.unravel_index(flat, shape)
+    return [tuple(int(c[i]) for c in coords) for i in range(count)]
+
+
+def _build_systems(pipeline: Pipeline, systems: Sequence[str]):
+    built = {}
+    for system in systems:
+        if system == "DSLog":
+            built[system] = pipeline.load_into_dslog()
+        elif system == "Raw":
+            built[system] = pipeline.load_into_baseline(RawStore())
+        elif system == "Parquet":
+            built[system] = pipeline.load_into_baseline(ColumnarStore())
+        elif system == "Parquet-GZip":
+            built[system] = pipeline.load_into_baseline(ColumnarGzipStore())
+        elif system == "Turbo-RC":
+            built[system] = pipeline.load_into_baseline(TurboRCStore())
+        elif system == "Array":
+            built[system] = pipeline.load_into_array_db()
+        else:
+            raise ValueError(f"unknown system {system!r}")
+    return built
+
+
+def _time_query(system_name: str, system, pipeline: Pipeline, cells) -> Tuple[float, int]:
+    start = time.perf_counter()
+    if system_name == "DSLog":
+        result = system.prov_query(pipeline.path, cells)
+        count = result.count_cells()
+    else:
+        answer = system.query_path(pipeline.path, cells)
+        count = len(answer)
+    return time.perf_counter() - start, count
+
+
+def run(
+    pipelines: Optional[Dict[str, Pipeline]] = None,
+    selectivities: Sequence[float] = (0.001, 0.01, 0.05, 0.2),
+    systems: Sequence[str] = SYSTEMS,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[float, float]]]:
+    """Measure query latency (seconds) per (workflow, system, selectivity)."""
+    if pipelines is None:
+        pipelines = {
+            "image": image_pipeline(64, 64),
+            "relational": relational_pipeline(1500, 1000),
+            "resnet": resnet_block_pipeline(32, 32),
+        }
+    results: Dict[str, Dict[str, Dict[float, float]]] = {}
+    for workflow_name, pipeline in pipelines.items():
+        built = _build_systems(pipeline, systems)
+        per_system: Dict[str, Dict[float, float]] = {s: {} for s in systems}
+        counts: Dict[float, set] = {}
+        for selectivity in selectivities:
+            cells = query_cells_for_selectivity(pipeline.first_shape, selectivity, seed=seed)
+            for system_name in systems:
+                latency, count = _time_query(system_name, built[system_name], pipeline, cells)
+                per_system[system_name][selectivity] = latency
+                counts.setdefault(selectivity, set()).add(count)
+        # all systems must agree on the answer cardinality (correctness check)
+        for selectivity, observed in counts.items():
+            if len(observed) != 1:
+                raise AssertionError(
+                    f"systems disagree on {workflow_name} at selectivity {selectivity}: {observed}"
+                )
+        results[workflow_name] = per_system
+    return results
+
+
+def main(selectivities: Sequence[float] = (0.001, 0.01, 0.05)) -> str:
+    results = run(selectivities=selectivities)
+    blocks = []
+    for workflow_name, per_system in results.items():
+        headers = ["System"] + [f"sel={s:g}" for s in selectivities]
+        rows = [
+            [system] + [round(per_system[system][s], 4) for s in selectivities]
+            for system in per_system
+        ]
+        blocks.append(
+            format_table(headers, rows, title=f"Figure 8 ({workflow_name}) — query latency (s)")
+        )
+    output = "\n\n".join(blocks)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Figure 9: average query latency over random numpy workflows.
+
+Twenty workflows are generated for each chain length (five and ten
+operations in the paper), each drawn from the 76-operation pipeline list
+over a 100k-cell float64 array.  Forward queries over fixed-size random
+cell ranges are timed for DSLog, DSLog-NoMerge (the merge-step ablation),
+and the baselines; the harness reports average, minimum and maximum latency
+per system, matching the interval bars of the figure.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.stores import ColumnarGzipStore, ColumnarStore, RawStore, TurboRCStore
+from ..workloads.pipelines import Pipeline, random_numpy_pipeline
+from .common import format_table
+from .fig8_query_latency import query_cells_for_selectivity
+
+__all__ = ["run", "main", "SYSTEMS"]
+
+SYSTEMS = ["DSLog", "DSLog-NoMerge", "Raw", "Parquet", "Parquet-GZip", "Turbo-RC", "Array"]
+
+
+def _build(pipeline: Pipeline, system: str):
+    if system in ("DSLog", "DSLog-NoMerge"):
+        return pipeline.load_into_dslog()
+    if system == "Raw":
+        return pipeline.load_into_baseline(RawStore())
+    if system == "Parquet":
+        return pipeline.load_into_baseline(ColumnarStore())
+    if system == "Parquet-GZip":
+        return pipeline.load_into_baseline(ColumnarGzipStore())
+    if system == "Turbo-RC":
+        return pipeline.load_into_baseline(TurboRCStore())
+    if system == "Array":
+        return pipeline.load_into_array_db()
+    raise ValueError(f"unknown system {system!r}")
+
+
+def run(
+    n_workflows: int = 5,
+    chain_lengths: Sequence[int] = (5, 10),
+    n_cells: int = 20_000,
+    query_cells: int = 200,
+    systems: Sequence[str] = SYSTEMS,
+    seed: int = 0,
+) -> Dict[int, Dict[str, Dict[str, float]]]:
+    """Measure per-system latency statistics for each chain length.
+
+    Returns ``{chain_length: {system: {"avg"|"min"|"max": seconds}}}``.
+    """
+    results: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for length in chain_lengths:
+        latencies: Dict[str, List[float]] = {s: [] for s in systems}
+        for w in range(n_workflows):
+            pipeline = random_numpy_pipeline(length, n_cells=n_cells, seed=seed + w)
+            selectivity = query_cells / float(np.prod(pipeline.first_shape))
+            cells = query_cells_for_selectivity(pipeline.first_shape, selectivity, seed=seed + w)
+            answers = set()
+            for system in systems:
+                engine = _build(pipeline, system)
+                start = time.perf_counter()
+                if system == "DSLog":
+                    answer = engine.prov_query(pipeline.path, cells).count_cells()
+                elif system == "DSLog-NoMerge":
+                    answer = engine.prov_query(pipeline.path, cells, merge=False).count_cells()
+                else:
+                    answer = len(engine.query_path(pipeline.path, cells))
+                latencies[system].append(time.perf_counter() - start)
+                answers.add(answer)
+            if len(answers) != 1:
+                raise AssertionError(f"systems disagree on workflow {pipeline.name}: {answers}")
+        results[length] = {
+            system: {
+                "avg": float(np.mean(values)),
+                "min": float(np.min(values)),
+                "max": float(np.max(values)),
+            }
+            for system, values in latencies.items()
+        }
+    return results
+
+
+def main(n_workflows: int = 3, chain_lengths: Sequence[int] = (5, 10), n_cells: int = 20_000) -> str:
+    results = run(n_workflows=n_workflows, chain_lengths=chain_lengths, n_cells=n_cells)
+    blocks = []
+    for length, per_system in results.items():
+        headers = ["System", "avg (s)", "min (s)", "max (s)"]
+        rows = [
+            [system, round(stats["avg"], 4), round(stats["min"], 4), round(stats["max"], 4)]
+            for system, stats in per_system.items()
+        ]
+        blocks.append(
+            format_table(headers, rows, title=f"Figure 9 — random numpy workflows, {length} operations")
+        )
+    output = "\n\n".join(blocks)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

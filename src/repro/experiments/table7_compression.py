@@ -1,0 +1,67 @@
+"""Table VII: size on disk of each compression format per operation.
+
+For every Table VII operation the harness captures the lineage, stores it in
+each baseline format plus ProvRC / ProvRC-GZip, and reports absolute size
+and the ratio relative to the Raw format (the paper's "Rel (%)" columns).
+Absolute numbers are smaller than the paper's (the arrays are laptop-scale);
+the comparison of formats — which ones exploit which lineage patterns — is
+the reproduced result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.stores import all_baseline_stores
+from ..workloads.operations import compression_workloads
+from .common import format_table, mb, provrc_bytes, provrc_gzip_bytes
+
+__all__ = ["run", "main", "FORMATS"]
+
+FORMATS = ["Raw", "Array", "Parquet", "Parquet-GZip", "Turbo-RC", "ProvRC", "ProvRC-GZip"]
+
+
+def run(scale: float = 0.2, operations: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, float]]:
+    """Measure on-disk bytes per (operation, format).
+
+    Returns ``{operation: {format: bytes}}``.
+    """
+    workloads = compression_workloads()
+    names = list(operations) if operations else list(workloads)
+    stores = all_baseline_stores()
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        relations = workloads[name].build(scale)
+        sizes: Dict[str, float] = {}
+        for store_name, store in stores.items():
+            sizes[store_name] = float(sum(store.size_bytes(rel.rows) for rel in relations))
+        sizes["ProvRC"] = float(provrc_bytes(relations))
+        sizes["ProvRC-GZip"] = float(provrc_gzip_bytes(relations))
+        results[name] = sizes
+    return results
+
+
+def as_rows(results: Dict[str, Dict[str, float]]) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for operation, sizes in results.items():
+        raw = sizes["Raw"]
+        row: List[object] = [operation, round(mb(raw), 4)]
+        for fmt in FORMATS[1:]:
+            row.append(round(mb(sizes[fmt]), 5))
+            row.append(round(100.0 * sizes[fmt] / raw, 4))
+        rows.append(row)
+    return rows
+
+
+def main(scale: float = 0.2) -> str:
+    results = run(scale=scale)
+    headers = ["Operation", "Raw (MB)"]
+    for fmt in FORMATS[1:]:
+        headers += [f"{fmt} (MB)", f"{fmt} (%)"]
+    table = format_table(headers, as_rows(results), title="Table VII — compression size per format")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Lineage reuse: operation signatures, index reshaping, automatic prediction."""
+
+from .reshape import GeneralizedTable, generalize, instantiate
+from .signatures import (
+    OperationSignature,
+    ReuseDecision,
+    ReuseManager,
+    fingerprint_array,
+    tables_equal,
+)
+
+__all__ = [
+    "GeneralizedTable",
+    "generalize",
+    "instantiate",
+    "OperationSignature",
+    "ReuseDecision",
+    "ReuseManager",
+    "fingerprint_array",
+    "tables_equal",
+]

@@ -1,0 +1,5 @@
+"""Storage manager internals: catalog of arrays, lineage entries, operations."""
+
+from .catalog import ArrayInfo, Catalog, LineageEntry, OperationRecord
+
+__all__ = ["ArrayInfo", "Catalog", "LineageEntry", "OperationRecord"]

@@ -1,0 +1,177 @@
+"""The DSLog catalog: tracked arrays, lineage entries and operation records.
+
+The catalog is the normalized relational layer of DSLog: every lineage
+relationship between two tracked arrays is one entry holding both ProvRC
+orientations (the backward table is the one counted for long-term storage,
+mirroring the paper), and every ``register_operation`` call is one operation
+record linking the per-pair lineage entries with the operation metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.compressed import CompressedLineage
+from ..core.provrc import compress
+from ..core.relation import LineageRelation
+from ..core.serialize import serialize_compressed, serialize_compressed_gzip
+
+__all__ = ["ArrayInfo", "LineageEntry", "OperationRecord", "Catalog"]
+
+
+@dataclass(frozen=True)
+class ArrayInfo:
+    """A tracked array: a name plus a declared shape."""
+
+    name: str
+    shape: Tuple[int, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def ncells(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count
+
+
+@dataclass
+class LineageEntry:
+    """Stored lineage between one input array and one output array."""
+
+    in_name: str
+    out_name: str
+    backward: CompressedLineage
+    forward: CompressedLineage
+    op_name: Optional[str] = None
+    reused: bool = False
+
+    def table_keyed_on(self, array_name: str) -> CompressedLineage:
+        """Return the orientation whose key side is *array_name*."""
+        if array_name == self.out_name:
+            return self.backward
+        if array_name == self.in_name:
+            return self.forward
+        raise KeyError(f"array {array_name!r} is not part of this lineage entry")
+
+    def storage_bytes(self, gzip: bool = True) -> int:
+        """On-disk footprint of the long-term (backward) representation."""
+        if gzip:
+            return len(serialize_compressed_gzip(self.backward))
+        return len(serialize_compressed(self.backward))
+
+
+@dataclass
+class OperationRecord:
+    """Metadata of one ``register_operation`` call."""
+
+    op_name: str
+    in_arrs: Tuple[str, ...]
+    out_arrs: Tuple[str, ...]
+    op_args: dict = field(default_factory=dict)
+    reuse_level: Optional[str] = None
+    entries: List[Tuple[str, str]] = field(default_factory=list)
+
+
+class Catalog:
+    """In-memory catalog of arrays, lineage entries and operations."""
+
+    def __init__(self) -> None:
+        self.arrays: Dict[str, ArrayInfo] = {}
+        self._entries: Dict[Tuple[str, str], LineageEntry] = {}
+        self.operations: List[OperationRecord] = []
+
+    # ------------------------------------------------------------------
+    # arrays
+    # ------------------------------------------------------------------
+    def define_array(self, name: str, shape: Tuple[int, ...]) -> ArrayInfo:
+        info = ArrayInfo(name=name, shape=tuple(int(d) for d in shape))
+        existing = self.arrays.get(name)
+        if existing is not None and existing.shape != info.shape:
+            raise ValueError(
+                f"array {name!r} already defined with shape {existing.shape}, "
+                f"cannot redefine with {info.shape}"
+            )
+        self.arrays[name] = info
+        return info
+
+    def array(self, name: str) -> ArrayInfo:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise KeyError(f"array {name!r} is not defined in the catalog") from None
+
+    # ------------------------------------------------------------------
+    # lineage entries
+    # ------------------------------------------------------------------
+    def add_relation(
+        self,
+        relation: LineageRelation,
+        op_name: Optional[str] = None,
+        reused: bool = False,
+    ) -> LineageEntry:
+        """Compress a relation into both orientations and store the entry."""
+        backward = compress(relation, key="output")
+        forward = compress(relation, key="input")
+        return self.add_compressed(backward, forward, op_name=op_name, reused=reused)
+
+    def add_compressed(
+        self,
+        backward: CompressedLineage,
+        forward: CompressedLineage,
+        op_name: Optional[str] = None,
+        reused: bool = False,
+    ) -> LineageEntry:
+        if backward.key_side != "output" or forward.key_side != "input":
+            raise ValueError("backward/forward tables have the wrong orientation")
+        entry = LineageEntry(
+            in_name=backward.in_name,
+            out_name=backward.out_name,
+            backward=backward,
+            forward=forward,
+            op_name=op_name,
+            reused=reused,
+        )
+        self._entries[(entry.in_name, entry.out_name)] = entry
+        return entry
+
+    def entry(self, in_name: str, out_name: str) -> LineageEntry:
+        try:
+            return self._entries[(in_name, out_name)]
+        except KeyError:
+            raise KeyError(f"no lineage stored between {in_name!r} and {out_name!r}") from None
+
+    def entries(self) -> List[LineageEntry]:
+        return list(self._entries.values())
+
+    def entry_between(self, first: str, second: str) -> Tuple[LineageEntry, str]:
+        """Find the lineage entry linking two arrays in either direction.
+
+        Returns ``(entry, direction)`` where direction is ``"forward"`` when
+        *first* is the entry's input array and ``"backward"`` otherwise.
+        """
+        if (first, second) in self._entries:
+            return self._entries[(first, second)], "forward"
+        if (second, first) in self._entries:
+            return self._entries[(second, first)], "backward"
+        raise KeyError(f"no lineage stored between {first!r} and {second!r}")
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def add_operation(self, record: OperationRecord) -> None:
+        self.operations.append(record)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def storage_bytes(self, gzip: bool = True) -> int:
+        """Total long-term storage of every lineage entry in the catalog."""
+        return sum(entry.storage_bytes(gzip=gzip) for entry in self.entries())
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,33 @@
+"""Workload and dataset generators for the evaluation harnesses."""
+
+from .datasets import ImdbLike, make_feature_matrix, make_imdb_like, synthetic_frame
+from .kaggle import OP_VOCABULARY, WorkflowOp, WorkflowTrace, classify_workflow, generate_workflows, summarize
+from .operations import CompressionWorkload, build_workload, compression_workloads
+from .pipelines import (
+    Pipeline,
+    image_pipeline,
+    random_numpy_pipeline,
+    relational_pipeline,
+    resnet_block_pipeline,
+)
+
+__all__ = [
+    "ImdbLike",
+    "make_imdb_like",
+    "make_feature_matrix",
+    "synthetic_frame",
+    "CompressionWorkload",
+    "compression_workloads",
+    "build_workload",
+    "Pipeline",
+    "image_pipeline",
+    "relational_pipeline",
+    "resnet_block_pipeline",
+    "random_numpy_pipeline",
+    "WorkflowOp",
+    "WorkflowTrace",
+    "OP_VOCABULARY",
+    "generate_workflows",
+    "classify_workflow",
+    "summarize",
+]

@@ -1,0 +1,167 @@
+"""The twelve individual operations of the compression experiment (Table VII).
+
+Each workload builds the cell-level lineage relation(s) of one data-science
+operation, spanning the paper's three groups:
+
+1. numpy operations with data-independent lineage (Negative, Addition,
+   Aggregate, Repetition, Matrix*Vector, Matrix*Matrix) and two
+   value-dependent ones (Sort, ImgFilter);
+2. explainable-AI capture over an object detector (Lime, DRISE);
+3. relational operations with custom capture (Group By, Inner Join).
+
+Sizes default to a laptop-scale fraction of the paper's arrays (which go up
+to a million cells and, for Matrix*Matrix, billions of lineage rows); every
+builder takes a ``scale`` knob so the harness can sweep sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..capture.analytic import (
+    axis_reduction_lineage,
+    elementwise_lineage,
+    matmat_lineage,
+    matvec_lineage,
+    repetition_lineage,
+    selection_lineage,
+)
+from ..capture.explain import SyntheticDetector, drise_capture, lime_capture
+from ..capture.relational import group_by_capture, inner_join_capture
+from ..core.relation import LineageRelation
+from .datasets import make_imdb_like, synthetic_frame
+
+__all__ = ["CompressionWorkload", "compression_workloads", "build_workload"]
+
+
+@dataclass(frozen=True)
+class CompressionWorkload:
+    """One Table VII operation: a name plus a lineage builder."""
+
+    name: str
+    group: str  # "numpy", "xai" or "relational"
+    build: Callable[[float], List[LineageRelation]]
+    value_dependent: bool = False
+
+
+def _negative(scale: float) -> List[LineageRelation]:
+    n = int(250_000 * scale)
+    return [elementwise_lineage((n,), in_name="A", out_name="B")]
+
+
+def _addition(scale: float) -> List[LineageRelation]:
+    n = int(250_000 * scale)
+    return [
+        elementwise_lineage((n,), in_name="A1", out_name="B"),
+        elementwise_lineage((n,), in_name="A2", out_name="B"),
+    ]
+
+
+def _aggregate(scale: float) -> List[LineageRelation]:
+    rows = int(500 * max(scale, 0.01) ** 0.5)
+    cols = int(500 * max(scale, 0.01) ** 0.5)
+    return [axis_reduction_lineage((rows, cols), axis=1, in_name="A", out_name="B")]
+
+
+def _repetition(scale: float) -> List[LineageRelation]:
+    n = int(60_000 * scale)
+    return [repetition_lineage(n, 4, in_name="A", out_name="B")]
+
+
+def _matvec(scale: float) -> List[LineageRelation]:
+    side = int(500 * max(scale, 0.01) ** 0.5)
+    return [matvec_lineage(side, side, in_name="M", out_name="y")]
+
+
+def _matmat(scale: float) -> List[LineageRelation]:
+    side = int(100 * max(scale, 0.01) ** (1.0 / 3.0))
+    return [matmat_lineage(side, side, side, in_name="M1", out_name="P")]
+
+
+def _sort(scale: float) -> List[LineageRelation]:
+    n = int(250_000 * scale)
+    rng = np.random.default_rng(7)
+    order = np.argsort(rng.normal(size=n), kind="stable")
+    return [selection_lineage(order, (n,), in_name="A", out_name="B")]
+
+
+def _img_filter(scale: float) -> List[LineageRelation]:
+    """Adaptive 3x3 smoothing: bright pixels read their neighbourhood."""
+    side = int(128 * max(scale, 0.01) ** 0.5)
+    frame = synthetic_frame(side, side, seed=3)
+    bright = frame > 0.5
+    pairs = []
+    for y in range(side):
+        for x in range(side):
+            if bright[y, x]:
+                for dy in (-1, 0, 1):
+                    for dx in (-1, 0, 1):
+                        ny, nx = y + dy, x + dx
+                        if 0 <= ny < side and 0 <= nx < side:
+                            pairs.append(((y, x), (ny, nx)))
+            else:
+                pairs.append(((y, x), (y, x)))
+    relation = LineageRelation.from_pairs(pairs, (side, side), (side, side), in_name="Img", out_name="Out")
+    return [relation]
+
+
+def _lime(scale: float) -> List[LineageRelation]:
+    side = int(64 * max(scale, 0.05) ** 0.5)
+    frame = synthetic_frame(side, side, seed=11)
+    detector = SyntheticDetector.around_blob(frame)
+    relation = lime_capture(frame, detector, patch=max(side // 8, 2), samples=100, seed=11)
+    relation.in_name, relation.out_name = "Frame", "Detection"
+    return [relation]
+
+
+def _drise(scale: float) -> List[LineageRelation]:
+    side = int(64 * max(scale, 0.05) ** 0.5)
+    frame = synthetic_frame(side, side, seed=13)
+    detector = SyntheticDetector.around_blob(frame)
+    relation = drise_capture(frame, detector, samples=80, seed=13)
+    relation.in_name, relation.out_name = "Frame", "Detection"
+    return [relation]
+
+
+def _group_by(scale: float) -> List[LineageRelation]:
+    imdb = make_imdb_like(n_basics=int(4000 * scale) + 10, seed=5)
+    _, relations = group_by_capture(imdb.basics, key_col=4, value_col=3)  # genres, runtime
+    relation = relations["table"]
+    relation.in_name, relation.out_name = "Basics", "Grouped"
+    return [relation]
+
+
+def _inner_join(scale: float) -> List[LineageRelation]:
+    imdb = make_imdb_like(n_basics=int(3000 * scale) + 10, n_episodes=int(2000 * scale) + 10, seed=6)
+    _, relations = inner_join_capture(imdb.basics, imdb.episode, left_on=0, right_on=0)
+    left, right = relations["left"], relations["right"]
+    left.in_name, left.out_name = "Basics", "Joined"
+    right.in_name, right.out_name = "Episode", "Joined"
+    return [left, right]
+
+
+def compression_workloads() -> Dict[str, CompressionWorkload]:
+    """The Table VII operation suite, keyed by display name."""
+    workloads = [
+        CompressionWorkload("Negative", "numpy", _negative),
+        CompressionWorkload("Addition", "numpy", _addition),
+        CompressionWorkload("Aggregate", "numpy", _aggregate),
+        CompressionWorkload("Repetition", "numpy", _repetition),
+        CompressionWorkload("Matrix*Vector", "numpy", _matvec),
+        CompressionWorkload("Matrix*Matrix", "numpy", _matmat),
+        CompressionWorkload("Sort", "numpy", _sort, value_dependent=True),
+        CompressionWorkload("ImgFilter", "numpy", _img_filter, value_dependent=True),
+        CompressionWorkload("Lime", "xai", _lime, value_dependent=True),
+        CompressionWorkload("DRISE", "xai", _drise, value_dependent=True),
+        CompressionWorkload("Group By", "relational", _group_by, value_dependent=True),
+        CompressionWorkload("Inner Join", "relational", _inner_join, value_dependent=True),
+    ]
+    return {w.name: w for w in workloads}
+
+
+def build_workload(name: str, scale: float = 1.0) -> List[LineageRelation]:
+    """Build the lineage relations for one named Table VII operation."""
+    return compression_workloads()[name].build(scale)

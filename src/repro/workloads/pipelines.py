@@ -1,0 +1,258 @@
+"""Multi-step workflow generators for the query-latency experiments.
+
+Three hand-built workflows (Figure 8) plus the random numpy workflows
+(Figure 9):
+
+* **image pipeline** — resize, luminosity, rotate, horizontal flip, LIME on
+  the detector (Table VIII, left column);
+* **relational pipeline** — inner join on the key column, NaN row filter,
+  add two columns, one-hot encode, add a constant (Table VIII, right);
+* **ResNet block** — conv / batch-norm / ReLU / conv / batch-norm /
+  skip-add / ReLU over a feature map (seven steps);
+* **random numpy workflows** — chains of operations drawn from the
+  76-operation pipeline list applied to a 1-D float64 array.
+
+Each generator returns a :class:`Pipeline`: the ordered array definitions
+plus one lineage relation per step, ready to be loaded into DSLog or into
+any baseline database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..capture.analytic import (
+    elementwise_lineage,
+    row_pattern_lineage,
+    selection_lineage,
+)
+from ..capture.explain import SyntheticDetector, lime_capture
+from ..capture.numpy_catalog import CatalogOp, pipeline_ops
+from ..capture.relational import filter_rows_capture, inner_join_capture
+from ..core.relation import LineageRelation
+from ..dslog import DSLog
+from ..baselines.engine import ArrayDatabase, BaselineDatabase
+from ..baselines.stores import BaselineStore
+from .datasets import make_imdb_like, synthetic_frame
+
+__all__ = ["Pipeline", "image_pipeline", "relational_pipeline", "resnet_block_pipeline", "random_numpy_pipeline"]
+
+
+@dataclass
+class Pipeline:
+    """An ordered chain of arrays connected by lineage relations."""
+
+    name: str
+    arrays: List[Tuple[str, Tuple[int, ...]]]
+    steps: List[LineageRelation]
+
+    @property
+    def path(self) -> List[str]:
+        return [name for name, _ in self.arrays]
+
+    @property
+    def first_shape(self) -> Tuple[int, ...]:
+        return self.arrays[0][1]
+
+    def load_into_dslog(self, log: Optional[DSLog] = None) -> DSLog:
+        log = log or DSLog()
+        for name, shape in self.arrays:
+            log.define_array(name, shape)
+        for relation in self.steps:
+            log.add_lineage(relation.in_name, relation.out_name, relation=relation)
+        return log
+
+    def load_into_baseline(self, store: BaselineStore) -> BaselineDatabase:
+        db = BaselineDatabase(store)
+        for relation in self.steps:
+            db.ingest(relation)
+        return db
+
+    def load_into_array_db(self, batch_size: int = 1000) -> ArrayDatabase:
+        db = ArrayDatabase(batch_size=batch_size)
+        for relation in self.steps:
+            db.ingest(relation)
+        return db
+
+
+def _chain(name: str, shapes: List[Tuple[str, Tuple[int, ...]]], steps: List[LineageRelation]) -> Pipeline:
+    return Pipeline(name=name, arrays=shapes, steps=steps)
+
+
+# ----------------------------------------------------------------------
+# image pipeline (Figure 8 A)
+# ----------------------------------------------------------------------
+def _resize_half_lineage(height: int, width: int, **names) -> LineageRelation:
+    """2x2 average-pool resize: each output pixel reads a 2x2 input block."""
+    oh, ow = height // 2, width // 2
+    pairs = []
+    for y in range(oh):
+        for x in range(ow):
+            for dy in (0, 1):
+                for dx in (0, 1):
+                    pairs.append(((y, x), (2 * y + dy, 2 * x + dx)))
+    return LineageRelation.from_pairs(pairs, (oh, ow), (height, width), **names)
+
+
+def _rot90_lineage(height: int, width: int, **names) -> LineageRelation:
+    source = np.rot90(np.arange(height * width).reshape(height, width))
+    return selection_lineage(source, (height, width), **names)
+
+
+def _hflip_lineage(height: int, width: int, **names) -> LineageRelation:
+    source = np.fliplr(np.arange(height * width).reshape(height, width))
+    return selection_lineage(source, (height, width), **names)
+
+
+def image_pipeline(height: int = 64, width: int = 64, lime_samples: int = 60) -> Pipeline:
+    """Resize -> luminosity -> rotate 90 -> horizontal flip -> LIME on the detector."""
+    oh, ow = height // 2, width // 2
+    frame = synthetic_frame(height, width, seed=21)
+
+    resize = _resize_half_lineage(height, width, in_name="img0", out_name="img1")
+    luminosity = elementwise_lineage((oh, ow), in_name="img1", out_name="img2")
+    rotate = _rot90_lineage(oh, ow, in_name="img2", out_name="img3")
+    flip = _hflip_lineage(ow, oh, in_name="img3", out_name="img4")
+
+    final_frame = np.fliplr(np.rot90(synthetic_frame(oh, ow, seed=21) + 0.1))
+    detector = SyntheticDetector.around_blob(final_frame)
+    lime = lime_capture(final_frame, detector, patch=max(ow // 8, 2), samples=lime_samples, seed=23)
+    lime.in_name, lime.out_name = "img4", "detection"
+
+    arrays = [
+        ("img0", (height, width)),
+        ("img1", (oh, ow)),
+        ("img2", (oh, ow)),
+        ("img3", (ow, oh)),
+        ("img4", (ow, oh)),
+        ("detection", (5,)),
+    ]
+    return _chain("image", arrays, [resize, luminosity, rotate, flip, lime])
+
+
+# ----------------------------------------------------------------------
+# relational pipeline (Figure 8 B)
+# ----------------------------------------------------------------------
+def relational_pipeline(n_basics: int = 2000, n_episodes: int = 1500, n_genres: int = 8) -> Pipeline:
+    """Inner join -> NaN filter -> add two columns -> one-hot encode -> add constant."""
+    imdb = make_imdb_like(n_basics=n_basics, n_episodes=n_episodes, seed=31)
+    joined, join_relations = inner_join_capture(imdb.basics, imdb.episode, left_on=0, right_on=0)
+    join_left = join_relations["left"]
+    join_left.in_name, join_left.out_name = "basics", "joined"
+
+    rng = np.random.default_rng(32)
+    nan_mask = rng.uniform(size=joined.shape[0]) > 0.1
+    filtered, filter_relations = filter_rows_capture(joined, nan_mask)
+    filt = filter_relations["table"]
+    filt.in_name, filt.out_name = "joined", "filtered"
+
+    # add two columns: new last column = col 3 + col 4, other cells copied
+    n_rows, n_cols = filtered.shape
+    added_shape = (n_rows, n_cols + 1)
+    pairs = []
+    for r in range(n_rows):
+        for c in range(n_cols):
+            pairs.append(((r, c), (r, c)))
+        pairs.append(((r, n_cols), (r, 3)))
+        pairs.append(((r, n_cols), (r, 4)))
+    add_cols = LineageRelation.from_pairs(pairs, added_shape, filtered.shape, in_name="filtered", out_name="added")
+
+    # one-hot encode the genres column: output row r reads input row r (whole-row pattern)
+    onehot_shape = (n_rows, n_genres)
+    onehot = row_pattern_lineage(
+        added_shape,
+        onehot_shape,
+        out_row_of=np.arange(n_rows * n_genres) // n_genres,
+        in_name="added",
+        out_name="onehot",
+    )
+
+    add_const = elementwise_lineage(onehot_shape, in_name="onehot", out_name="final")
+
+    arrays = [
+        ("basics", imdb.basics.shape),
+        ("joined", joined.shape),
+        ("filtered", filtered.shape),
+        ("added", added_shape),
+        ("onehot", onehot_shape),
+        ("final", onehot_shape),
+    ]
+    return _chain("relational", arrays, [join_left, filt, add_cols, onehot, add_const])
+
+
+# ----------------------------------------------------------------------
+# ResNet block (Figure 8 C)
+# ----------------------------------------------------------------------
+def _conv3x3_lineage(height: int, width: int, **names) -> LineageRelation:
+    pairs = []
+    for y in range(height):
+        for x in range(width):
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    ny, nx = y + dy, x + dx
+                    if 0 <= ny < height and 0 <= nx < width:
+                        pairs.append(((y, x), (ny, nx)))
+    return LineageRelation.from_pairs(pairs, (height, width), (height, width), **names)
+
+
+def resnet_block_pipeline(height: int = 32, width: int = 32) -> Pipeline:
+    """The seven steps of a (single-channel) ResNet basic block at inference."""
+    conv1 = _conv3x3_lineage(height, width, in_name="fm0", out_name="fm1")
+    bn1 = elementwise_lineage((height, width), in_name="fm1", out_name="fm2")
+    relu1 = elementwise_lineage((height, width), in_name="fm2", out_name="fm3")
+    conv2 = _conv3x3_lineage(height, width, in_name="fm3", out_name="fm4")
+    bn2 = elementwise_lineage((height, width), in_name="fm4", out_name="fm5")
+    skip_add = elementwise_lineage((height, width), in_name="fm5", out_name="fm6")
+    relu2 = elementwise_lineage((height, width), in_name="fm6", out_name="fm7")
+    arrays = [(f"fm{i}", (height, width)) for i in range(8)]
+    return _chain("resnet", arrays, [conv1, bn1, relu1, conv2, bn2, skip_add, relu2])
+
+
+# ----------------------------------------------------------------------
+# random numpy workflows (Figure 9)
+# ----------------------------------------------------------------------
+def random_numpy_pipeline(
+    n_ops: int = 5,
+    n_cells: int = 100_000,
+    seed: int = 0,
+    ops: Optional[Sequence[CatalogOp]] = None,
+) -> Pipeline:
+    """A random chain of numpy operations over a 1-D float64 array.
+
+    Operations are drawn from the 76-operation pipeline list; each step's
+    lineage is captured analytically (value-dependent for ``sort`` and
+    friends) exactly as the ``tracked_cell`` capture would produce it.
+    """
+    rng = np.random.default_rng(seed)
+    ops = list(ops) if ops is not None else pipeline_ops()
+    data = rng.normal(size=n_cells)
+
+    arrays: List[Tuple[str, Tuple[int, ...]]] = [("arr0", data.shape)]
+    steps: List[LineageRelation] = []
+    current = data
+    for i in range(n_ops):
+        # keep drawing until the step keeps the chain at a workable size
+        # (no collapse to a scalar, no unbounded growth from repeat/tile)
+        for _ in range(20):
+            op = ops[int(rng.integers(0, len(ops)))]
+            out = op.run(current).reshape(-1)
+            if 10 <= out.size <= 4 * n_cells:
+                break
+        relation = op.lineage(current)
+        # flatten the output side so the chain stays 1-D
+        if relation.out_shape != out.shape:
+            flat_rows = relation.rows.copy()
+            out_idx = np.ravel_multi_index(
+                [flat_rows[:, d] for d in range(relation.out_ndim)], relation.out_shape
+            )
+            flat_rows = np.concatenate([out_idx[:, None], flat_rows[:, relation.out_ndim:]], axis=1)
+            relation = LineageRelation(out.shape, relation.in_shape, flat_rows)
+        relation.in_name = f"arr{i}"
+        relation.out_name = f"arr{i + 1}"
+        arrays.append((f"arr{i + 1}", out.shape))
+        steps.append(relation)
+        current = out
+    return _chain(f"random-{n_ops}ops-seed{seed}", arrays, steps)

@@ -1,0 +1,127 @@
+"""Tests for explainable-AI capture and the relational capture operators."""
+
+import numpy as np
+import pytest
+
+from repro.capture.explain import SyntheticDetector, drise_capture, lime_capture, synthetic_frame
+from repro.capture.relational import filter_rows_capture, group_by_capture, inner_join_capture
+from repro.core.provrc import compress
+
+
+class TestSyntheticDetector:
+    def test_frame_has_bright_blob(self):
+        frame = synthetic_frame(32, 32)
+        assert frame.shape == (32, 32)
+        assert frame.max() > 0.6
+
+    def test_detector_output_vector(self):
+        frame = synthetic_frame(32, 32)
+        detector = SyntheticDetector.around_blob(frame)
+        out = detector(frame)
+        assert out.shape == (5,)
+        assert out[0] > 0.4  # score over the bright blob
+
+    def test_detector_score_depends_on_roi_only(self):
+        frame = synthetic_frame(32, 32)
+        detector = SyntheticDetector.around_blob(frame)
+        perturbed = frame.copy()
+        perturbed[0, 0] = 0.0  # outside the ROI
+        assert detector(frame)[0] == pytest.approx(detector(perturbed)[0])
+
+
+class TestLimeCapture:
+    def test_lineage_points_into_roi(self):
+        frame = synthetic_frame(32, 32, seed=1)
+        detector = SyntheticDetector.around_blob(frame)
+        relation = lime_capture(frame, detector, patch=8, samples=80, seed=3)
+        relation.validate()
+        assert len(relation) > 0
+        top, left, height, width = detector.roi
+        cells = relation.backward([(0,)])
+        roi_cells = {(y, x) for y in range(top, top + height) for x in range(left, left + width)}
+        # the significant superpixels must cover most of the true ROI ...
+        assert len(roi_cells & cells) / len(roi_cells) > 0.9
+        # ... without flagging the whole frame
+        assert len(cells) < frame.size * 0.5
+
+    def test_lineage_compresses(self):
+        frame = synthetic_frame(24, 24, seed=2)
+        detector = SyntheticDetector.around_blob(frame)
+        relation = lime_capture(frame, detector, patch=8, samples=60, seed=4)
+        table = compress(relation)
+        assert table.decompress() == relation.deduplicated()
+        assert len(table) < len(relation)
+
+
+class TestDriseCapture:
+    def test_lineage_produced_and_valid(self):
+        frame = synthetic_frame(32, 32, seed=5)
+        detector = SyntheticDetector.around_blob(frame)
+        relation = drise_capture(frame, detector, samples=60, seed=6)
+        relation.validate()
+        assert len(relation) > 0
+
+    def test_threshold_controls_size(self):
+        frame = synthetic_frame(32, 32, seed=7)
+        detector = SyntheticDetector.around_blob(frame)
+        loose = drise_capture(frame, detector, samples=40, threshold=0.3, seed=8)
+        tight = drise_capture(frame, detector, samples=40, threshold=0.9, seed=8)
+        assert len(tight) <= len(loose)
+
+
+class TestInnerJoin:
+    def test_join_rows_and_lineage(self):
+        left = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+        right = np.array([[2.0, 200.0], [3.0, 300.0], [4.0, 400.0]])
+        out, relations = inner_join_capture(left, right, left_on=0, right_on=0)
+        assert out.shape == (2, 3)
+        assert set(out[:, 0]) == {2.0, 3.0}
+        # first output row derives from left row 1 and right row 0
+        assert relations["left"].backward([(0, 0)]) == {(1, 0), (1, 1)}
+        assert relations["right"].backward([(0, 2)]) == {(0, 0), (0, 1)}
+
+    def test_join_no_matches(self):
+        left = np.array([[1.0, 1.0]])
+        right = np.array([[9.0, 9.0]])
+        out, relations = inner_join_capture(left, right)
+        assert out.shape[0] == 0
+        assert len(relations["left"]) == 0
+
+    def test_join_lineage_compresses_losslessly(self):
+        rng = np.random.default_rng(0)
+        left = np.stack([np.arange(30.0), rng.normal(size=30)], axis=1)
+        right = np.stack([np.arange(0.0, 60.0, 2.0), rng.normal(size=30)], axis=1)
+        _, relations = inner_join_capture(left, right)
+        for relation in relations.values():
+            assert compress(relation).decompress() == relation.deduplicated()
+
+
+class TestGroupBy:
+    def test_groupby_sums_and_lineage(self):
+        table = np.array([[1.0, 5.0], [2.0, 7.0], [1.0, 3.0]])
+        out, relations = group_by_capture(table, key_col=0, value_col=1)
+        assert out.shape == (2, 2)
+        assert out[0].tolist() == [1.0, 8.0]
+        backward = relations["table"].backward([(0, 1)])
+        assert (0, 1) in backward and (2, 1) in backward
+
+    def test_groupby_lineage_valid(self):
+        rng = np.random.default_rng(1)
+        table = np.stack([rng.integers(0, 5, size=40).astype(float), rng.normal(size=40)], axis=1)
+        _, relations = group_by_capture(table)
+        relations["table"].validate()
+
+
+class TestFilterRows:
+    def test_filter_keeps_lineage_to_source_rows(self):
+        table = np.arange(12.0).reshape(4, 3)
+        mask = np.array([True, False, True, False])
+        out, relations = filter_rows_capture(table, mask)
+        assert out.shape == (2, 3)
+        assert relations["table"].backward([(1, 0)]) == {(2, c) for c in range(3)}
+
+    def test_filter_all_dropped(self):
+        table = np.ones((3, 2))
+        out, relations = filter_rows_capture(table, np.zeros(3, dtype=bool))
+        assert out.shape[0] == 0
+        assert len(relations["table"]) == 0

@@ -1,0 +1,116 @@
+"""Tests for the 136-operation numpy catalog."""
+
+import numpy as np
+import pytest
+
+from repro.capture.numpy_catalog import build_catalog, complex_ops, element_ops, pipeline_ops
+from repro.core.provrc import compress
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog()
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestCatalogShape:
+    def test_counts_match_paper(self, catalog):
+        # Table IX: 136 operations, 75 element-wise and 61 complex.
+        assert len(catalog) == 136
+        assert len(element_ops()) == 75
+        assert len(complex_ops()) == 61
+
+    def test_pipeline_subset(self):
+        ops = pipeline_ops()
+        assert len(ops) == 76
+        assert all(op.pipeline_ok for op in ops)
+
+    def test_unique_names(self, catalog):
+        names = [op.name for op in catalog]
+        assert len(names) == len(set(names))
+
+    def test_cross_present(self, catalog):
+        assert any(op.name == "cross_const" for op in catalog)
+
+
+def _input_for(op, rng, size=30):
+    if op.name == "cross_const":
+        return rng.normal(size=(size // 3, 3))
+    if op.needs_2d:
+        return rng.normal(size=(6, 5))
+    return rng.normal(size=size)
+
+
+class TestEveryOperation:
+    def test_apply_returns_float64(self, catalog, rng):
+        for op in catalog:
+            out = op.run(_input_for(op, rng))
+            assert out.dtype == np.float64, op.name
+            assert out.ndim >= 1, op.name
+
+    def test_lineage_is_valid(self, catalog, rng):
+        for op in catalog:
+            data = _input_for(op, rng)
+            relation = op.lineage(data)
+            relation.validate()
+            assert len(relation) > 0, op.name
+
+    def test_lineage_output_shape_consistent(self, catalog, rng):
+        for op in catalog:
+            data = _input_for(op, rng)
+            out = op.run(data)
+            relation = op.lineage(data)
+            assert int(np.prod(relation.out_shape)) == out.size, op.name
+
+    def test_lineage_compresses_losslessly(self, rng):
+        # ProvRC round trip over a sample of catalog operations (small inputs).
+        sample = [op for op in build_catalog() if op.name in {
+            "negative", "add_scalar", "sum", "cumsum", "sort", "flip", "repeat",
+            "convolve_same", "dot_const", "trace", "cross_const", "tile",
+        }]
+        assert len(sample) == 12
+        for op in sample:
+            data = _input_for(op, rng, size=18)
+            relation = op.lineage(data)
+            assert compress(relation).decompress() == relation.deduplicated(), op.name
+
+
+class TestSpecificLineages:
+    def test_elementwise_lineage_identity(self, rng):
+        op = next(o for o in build_catalog() if o.name == "negative")
+        relation = op.lineage(rng.normal(size=10))
+        assert relation.backward([(3,)]) == {(3,)}
+
+    def test_sort_lineage_follows_values(self):
+        op = next(o for o in build_catalog() if o.name == "sort")
+        data = np.array([5.0, 1.0, 3.0])
+        relation = op.lineage(data)
+        # smallest value (index 1) lands at output position 0
+        assert relation.backward([(0,)]) == {(1,)}
+
+    def test_cross_lineage_changes_with_shape(self):
+        op = next(o for o in build_catalog() if o.name == "cross_const")
+        rel3 = op.lineage(np.ones((4, 3)))
+        rel2 = op.lineage(np.ones((4, 2)))
+        assert rel3.out_shape == (4, 3)
+        assert rel2.out_shape == (4,)
+
+    def test_cross_rejects_bad_width(self):
+        op = next(o for o in build_catalog() if o.name == "cross_const")
+        with pytest.raises(ValueError):
+            op.lineage(np.ones((4, 5)))
+
+    def test_trace_lineage(self):
+        op = next(o for o in build_catalog() if o.name == "trace")
+        relation = op.lineage(np.ones((4, 4)))
+        assert relation.backward([(0,)]) == {(i, i) for i in range(4)}
+
+    def test_tril_constant_cells_have_no_lineage(self):
+        op = next(o for o in build_catalog() if o.name == "tril")
+        relation = op.lineage(np.ones((3, 3)))
+        assert relation.backward([(0, 2)]) == set()
+        assert relation.backward([(2, 0)]) == {(2, 0)}

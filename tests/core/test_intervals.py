@@ -1,0 +1,115 @@
+"""Unit tests for the interval and box primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import Box, Interval, merge_adjacent_intervals, ranges_from_integers
+
+
+class TestInterval:
+    def test_point(self):
+        p = Interval.point(5)
+        assert p.lo == 5 and p.hi == 5
+        assert p.is_point
+        assert len(p) == 1
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            Interval(3, 1)
+
+    def test_len_and_contains(self):
+        interval = Interval(2, 6)
+        assert len(interval) == 5
+        assert 2 in interval and 6 in interval
+        assert 1 not in interval and 7 not in interval
+
+    def test_iteration(self):
+        assert list(Interval(3, 6)) == [3, 4, 5, 6]
+
+    def test_intersect_overlapping(self):
+        assert Interval(1, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+
+    def test_intersect_disjoint(self):
+        assert Interval(1, 2).intersect(Interval(4, 6)) is None
+
+    def test_intersect_single_point(self):
+        assert Interval(1, 4).intersect(Interval(4, 9)) == Interval(4, 4)
+
+    def test_overlaps_and_touches(self):
+        assert Interval(1, 3).overlaps(Interval(3, 5))
+        assert not Interval(1, 3).overlaps(Interval(4, 5))
+        assert Interval(1, 3).touches(Interval(4, 5))
+        assert not Interval(1, 3).touches(Interval(5, 6))
+
+    def test_shift_and_add(self):
+        assert Interval(1, 3).shift(4) == Interval(5, 7)
+        assert Interval(1, 3).add(Interval(-1, 2)) == Interval(0, 5)
+
+    def test_union_hull(self):
+        assert Interval(1, 2).union_hull(Interval(5, 9)) == Interval(1, 9)
+
+
+class TestBox:
+    def test_from_cell_and_contains(self):
+        box = Box.from_cell((2, 3))
+        assert (2, 3) in box
+        assert (2, 4) not in box
+        assert len(box) == 1
+
+    def test_cells_enumeration(self):
+        box = Box.from_pairs([(0, 1), (2, 3)])
+        assert set(box.cells()) == {(0, 2), (0, 3), (1, 2), (1, 3)}
+        assert len(box) == 4
+
+    def test_intersect(self):
+        a = Box.from_pairs([(0, 4), (0, 4)])
+        b = Box.from_pairs([(3, 8), (2, 3)])
+        assert a.intersect(b) == Box.from_pairs([(3, 4), (2, 3)])
+
+    def test_intersect_disjoint(self):
+        a = Box.from_pairs([(0, 1)])
+        b = Box.from_pairs([(3, 4)])
+        assert a.intersect(b) is None
+
+    def test_intersect_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Box.from_pairs([(0, 1)]).intersect(Box.from_pairs([(0, 1), (0, 1)]))
+
+    def test_contains_wrong_arity(self):
+        assert (1, 2) not in Box.from_pairs([(0, 3)])
+
+
+class TestRangeEncoding:
+    def test_paper_example(self):
+        # range({1,2,3,4,9,12,13,14,15}) = {[1,4],[9],[12,15]}
+        ranges = ranges_from_integers([1, 2, 3, 4, 9, 12, 13, 14, 15])
+        assert ranges == [Interval(1, 4), Interval(9, 9), Interval(12, 15)]
+
+    def test_empty(self):
+        assert ranges_from_integers([]) == []
+
+    def test_duplicates_ignored(self):
+        assert ranges_from_integers([1, 1, 2, 2]) == [Interval(1, 2)]
+
+    def test_single_values(self):
+        assert ranges_from_integers([5]) == [Interval(5, 5)]
+
+    @given(st.sets(st.integers(min_value=-200, max_value=200), max_size=60))
+    def test_roundtrip_property(self, values):
+        ranges = ranges_from_integers(values)
+        recovered = set()
+        for interval in ranges:
+            recovered.update(interval)
+        assert recovered == values
+        # minimality: consecutive intervals are separated by a gap
+        for left, right in zip(ranges, ranges[1:]):
+            assert right.lo > left.hi + 1
+
+    def test_merge_adjacent(self):
+        merged = merge_adjacent_intervals([Interval(5, 7), Interval(1, 2), Interval(3, 4)])
+        assert merged == [Interval(1, 7)]
+
+    def test_merge_disjoint_preserved(self):
+        merged = merge_adjacent_intervals([Interval(1, 2), Interval(9, 10)])
+        assert merged == [Interval(1, 2), Interval(9, 10)]

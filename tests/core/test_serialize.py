@@ -1,0 +1,73 @@
+"""Round-trip and size tests for ProvRC serialization (ProvRC / ProvRC-GZip)."""
+
+import numpy as np
+import pytest
+
+from repro.core.provrc import compress
+from repro.core.relation import LineageRelation
+from repro.core.serialize import (
+    deserialize_compressed,
+    deserialize_compressed_gzip,
+    read_compressed,
+    serialize_compressed,
+    serialize_compressed_gzip,
+    write_compressed,
+)
+
+
+def sample_table():
+    pairs = [((i,), (i, j)) for i in range(50) for j in range(4)]
+    relation = LineageRelation.from_pairs(pairs, (50,), (50, 4))
+    return compress(relation), relation
+
+
+class TestSerializationRoundTrip:
+    def test_plain_roundtrip(self):
+        table, relation = sample_table()
+        restored = deserialize_compressed(serialize_compressed(table))
+        assert restored.key_side == table.key_side
+        assert restored.out_shape == table.out_shape
+        assert restored.in_shape == table.in_shape
+        assert restored.decompress() == relation
+
+    def test_gzip_roundtrip(self):
+        table, relation = sample_table()
+        restored = deserialize_compressed_gzip(serialize_compressed_gzip(table))
+        assert restored.decompress() == relation
+
+    def test_axis_names_preserved(self):
+        table, _ = sample_table()
+        restored = deserialize_compressed(serialize_compressed(table))
+        assert restored.out_axes == table.out_axes
+        assert restored.in_axes == table.in_axes
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_compressed(b"NOPE" + b"\x00" * 16)
+
+    def test_empty_table(self):
+        relation = LineageRelation((4,), (4,), np.empty((0, 2)))
+        table = compress(relation)
+        restored = deserialize_compressed(serialize_compressed(table))
+        assert len(restored) == 0
+
+
+class TestOnDisk:
+    def test_write_read_plain(self, tmp_path):
+        table, relation = sample_table()
+        size = write_compressed(table, tmp_path / "t.provrc")
+        assert size == (tmp_path / "t.provrc").stat().st_size
+        assert read_compressed(tmp_path / "t.provrc").decompress() == relation
+
+    def test_write_read_gzip_sniffed(self, tmp_path):
+        table, relation = sample_table()
+        write_compressed(table, tmp_path / "t.provrc.gz", gzip=True)
+        assert read_compressed(tmp_path / "t.provrc.gz").decompress() == relation
+
+    def test_compressed_is_much_smaller_than_raw(self, tmp_path):
+        # A structured operation must compress far below the raw representation.
+        pairs = [((i,), (i,)) for i in range(100_000)]
+        relation = LineageRelation.from_pairs(pairs, (100_000,), (100_000,))
+        table = compress(relation)
+        size = write_compressed(table, tmp_path / "big.provrc")
+        assert size < relation.nbytes_raw() / 1000

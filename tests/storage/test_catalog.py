@@ -1,0 +1,94 @@
+"""Tests for the DSLog catalog layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.provrc import compress
+from repro.core.relation import LineageRelation
+from repro.storage.catalog import ArrayInfo, Catalog, OperationRecord
+
+
+def relation(in_name="A", out_name="B", n=8):
+    pairs = [((i,), (i,)) for i in range(n)]
+    return LineageRelation.from_pairs(pairs, (n,), (n,), in_name=in_name, out_name=out_name)
+
+
+class TestArrays:
+    def test_define_and_lookup(self):
+        catalog = Catalog()
+        info = catalog.define_array("A", (4, 5))
+        assert info == ArrayInfo("A", (4, 5))
+        assert catalog.array("A").ncells == 20
+        assert catalog.array("A").ndim == 2
+
+    def test_redefine_same_shape_ok(self):
+        catalog = Catalog()
+        catalog.define_array("A", (4,))
+        catalog.define_array("A", (4,))
+
+    def test_redefine_different_shape_rejected(self):
+        catalog = Catalog()
+        catalog.define_array("A", (4,))
+        with pytest.raises(ValueError):
+            catalog.define_array("A", (5,))
+
+    def test_unknown_array(self):
+        with pytest.raises(KeyError):
+            Catalog().array("missing")
+
+
+class TestLineageEntries:
+    def test_add_relation_and_orientations(self):
+        catalog = Catalog()
+        entry = catalog.add_relation(relation())
+        assert entry.backward.key_side == "output"
+        assert entry.forward.key_side == "input"
+        assert entry.table_keyed_on("A").key_side == "input"
+        assert entry.table_keyed_on("B").key_side == "output"
+
+    def test_table_keyed_on_unknown_array(self):
+        catalog = Catalog()
+        entry = catalog.add_relation(relation())
+        with pytest.raises(KeyError):
+            entry.table_keyed_on("Z")
+
+    def test_entry_between_directions(self):
+        catalog = Catalog()
+        catalog.add_relation(relation())
+        entry, direction = catalog.entry_between("A", "B")
+        assert direction == "forward"
+        entry, direction = catalog.entry_between("B", "A")
+        assert direction == "backward"
+
+    def test_entry_between_missing(self):
+        with pytest.raises(KeyError):
+            Catalog().entry_between("A", "B")
+
+    def test_add_compressed_validates_orientation(self):
+        catalog = Catalog()
+        rel = relation()
+        backward = compress(rel, key="output")
+        with pytest.raises(ValueError):
+            catalog.add_compressed(backward, backward)
+
+    def test_storage_bytes_positive_and_gzip_smaller_or_close(self):
+        catalog = Catalog()
+        catalog.add_relation(relation(n=1000))
+        plain = catalog.storage_bytes(gzip=False)
+        gz = catalog.storage_bytes(gzip=True)
+        assert plain > 0 and gz > 0
+
+    def test_len_counts_entries(self):
+        catalog = Catalog()
+        catalog.add_relation(relation("A", "B"))
+        catalog.add_relation(relation("B", "C"))
+        assert len(catalog) == 2
+        assert len(catalog.entries()) == 2
+
+
+class TestOperations:
+    def test_operation_records(self):
+        catalog = Catalog()
+        record = OperationRecord(op_name="neg", in_arrs=("A",), out_arrs=("B",))
+        catalog.add_operation(record)
+        assert catalog.operations[0].op_name == "neg"

@@ -1,0 +1,207 @@
+"""End-to-end tests for the DSLog public API."""
+
+import numpy as np
+import pytest
+
+from repro import DSLog
+from repro.core.query import CellBoxSet
+from repro.core.reference import query_path_reference
+from repro.core.relation import LineageRelation
+
+
+def elementwise(shape, in_name, out_name):
+    pairs = [(cell, cell) for cell in np.ndindex(*shape)]
+    return LineageRelation.from_pairs(pairs, shape, shape, in_name=in_name, out_name=out_name)
+
+
+def axis_sum(rows, cols, in_name, out_name):
+    pairs = [((r,), (r, c)) for r in range(rows) for c in range(cols)]
+    return LineageRelation.from_pairs(pairs, (rows,), (rows, cols), in_name=in_name, out_name=out_name)
+
+
+def build_pipeline(log: DSLog):
+    """A (6,4) -> B (6,4) element-wise -> C (6,) axis sum."""
+    log.define_array("A", (6, 4))
+    log.define_array("B", (6, 4))
+    log.define_array("C", (6,))
+    log.add_lineage("A", "B", relation=elementwise((6, 4), "A", "B"), op_name="negative")
+    log.add_lineage("B", "C", relation=axis_sum(6, 4, "B", "C"), op_name="sum_axis1")
+
+
+class TestDefineAndIngest:
+    def test_define_array(self):
+        log = DSLog()
+        info = log.define_array("A", (3, 2))
+        assert info.shape == (3, 2)
+
+    def test_add_lineage_from_relation(self):
+        log = DSLog()
+        build_pipeline(log)
+        assert len(log.catalog) == 2
+
+    def test_add_lineage_from_capture(self):
+        log = DSLog()
+        log.define_array("A", (3, 2))
+        log.define_array("B", (3,))
+        log.add_lineage("A", "B", capture=lambda out: [(out[0], c) for c in range(2)])
+        entry = log.catalog.entry("A", "B")
+        assert entry.backward.decompress().backward([(1,)]) == {(1, 0), (1, 1)}
+
+    def test_add_lineage_requires_relation_or_capture(self):
+        log = DSLog()
+        log.define_array("A", (3,))
+        log.define_array("B", (3,))
+        with pytest.raises(ValueError):
+            log.add_lineage("A", "B")
+
+    def test_shape_mismatch_rejected(self):
+        log = DSLog()
+        log.define_array("A", (4,))
+        log.define_array("B", (4,))
+        wrong = elementwise((5,), "A", "B")
+        with pytest.raises(ValueError):
+            log.add_lineage("A", "B", relation=wrong)
+
+    def test_on_disk_flush(self, tmp_path):
+        log = DSLog(root=tmp_path / "db")
+        build_pipeline(log)
+        files = list((tmp_path / "db").glob("*.provrc.gz"))
+        assert len(files) == 2
+        assert log.storage_bytes() > 0
+
+
+class TestQueries:
+    def test_forward_path_query(self):
+        log = DSLog()
+        build_pipeline(log)
+        cells = [(0, 0), (3, 2)]
+        result = log.prov_query(["A", "B", "C"], cells)
+        expected = query_path_reference(
+            [elementwise((6, 4), "A", "B"), axis_sum(6, 4, "B", "C")],
+            ["forward", "forward"],
+            cells,
+        )
+        assert result.to_cells() == expected
+
+    def test_backward_path_query(self):
+        log = DSLog()
+        build_pipeline(log)
+        result = log.prov_query(["C", "B", "A"], [(2,)])
+        assert result.to_cells() == {(2, c) for c in range(4)}
+
+    def test_query_with_slices(self):
+        log = DSLog()
+        build_pipeline(log)
+        result = log.prov_query(["A", "B", "C"], [slice(0, 2), slice(None)])
+        assert result.to_cells() == {(0,), (1,)}
+
+    def test_query_with_boxset(self):
+        log = DSLog()
+        build_pipeline(log)
+        query = CellBoxSet.from_boxes("C", (6,), [[(0, 1)]])
+        result = log.prov_query(["C", "B", "A"], query)
+        assert result.count_cells() == 8
+
+    def test_boxset_wrong_array_rejected(self):
+        log = DSLog()
+        build_pipeline(log)
+        query = CellBoxSet.from_boxes("A", (6, 4), [[(0, 1), (0, 1)]])
+        with pytest.raises(ValueError):
+            log.prov_query(["C", "B", "A"], query)
+
+    def test_short_path_rejected(self):
+        log = DSLog()
+        build_pipeline(log)
+        with pytest.raises(ValueError):
+            log.prov_query(["A"], [(0, 0)])
+
+    def test_unknown_array_rejected(self):
+        log = DSLog()
+        build_pipeline(log)
+        with pytest.raises(KeyError):
+            log.prov_query(["A", "Z"], [(0, 0)])
+
+    def test_unconnected_path_rejected(self):
+        log = DSLog()
+        build_pipeline(log)
+        log.define_array("D", (5,))
+        with pytest.raises(KeyError):
+            log.prov_query(["A", "D"], [(0, 0)])
+
+
+class TestRegisterOperationAndReuse:
+    def test_register_operation_with_relation(self):
+        log = DSLog()
+        log.define_array("A", (8,))
+        log.define_array("B", (8,))
+        record = log.register_operation(
+            "negative",
+            in_arrs=["A"],
+            out_arrs=["B"],
+            relations={("A", "B"): elementwise((8,), "A", "B")},
+            input_data={"A": np.arange(8.0)},
+        )
+        assert record.reuse_level is None
+        assert log.catalog.entry("A", "B").backward.decompress() == elementwise((8,), "A", "B")
+
+    def test_dim_reuse_after_confirmation(self):
+        log = DSLog()
+        for name in ("A", "B", "C", "D", "E", "F"):
+            log.define_array(name, (8,))
+        pairs = [("A", "B"), ("C", "D"), ("E", "F")]
+        datas = [np.arange(8.0), np.arange(8.0) * 2, np.arange(8.0) + 5]
+        records = []
+        for (src, dst), data in zip(pairs, datas):
+            records.append(
+                log.register_operation(
+                    "negative",
+                    in_arrs=[src],
+                    out_arrs=[dst],
+                    relations={(src, dst): elementwise((8,), src, dst)},
+                    input_data={src: data},
+                )
+            )
+        # first call captures, second confirms the dim mapping, third reuses it
+        assert records[0].reuse_level is None
+        assert records[1].reuse_level is None
+        assert records[2].reuse_level == "dim"
+        # the reused entry still answers queries correctly
+        assert log.prov_query(["F", "E"], [(3,)]).to_cells() == {(3,)}
+
+    def test_gen_reuse_across_shapes(self):
+        log = DSLog()
+        shapes = [(6,), (9,), (14,)]
+        names = [("A1", "B1"), ("A2", "B2"), ("A3", "B3")]
+        records = []
+        for shape, (src, dst) in zip(shapes, names):
+            log.define_array(src, shape)
+            log.define_array(dst, shape)
+            records.append(
+                log.register_operation(
+                    "negative",
+                    in_arrs=[src],
+                    out_arrs=[dst],
+                    relations={(src, dst): elementwise(shape, src, dst)},
+                    input_data={src: np.arange(float(shape[0]))},
+                )
+            )
+        assert records[2].reuse_level in ("dim", "gen")
+        assert records[2].reuse_level == "gen"
+        assert log.prov_query(["A3", "B3"], [(10,)]).to_cells() == {(10,)}
+
+    def test_reuse_disabled(self):
+        log = DSLog()
+        log.define_array("A", (4,))
+        log.define_array("B", (4,))
+        log.define_array("C", (4,))
+        log.define_array("D", (4,))
+        for src, dst in [("A", "B"), ("C", "D")]:
+            record = log.register_operation(
+                "negative",
+                in_arrs=[src],
+                out_arrs=[dst],
+                relations={(src, dst): elementwise((4,), src, dst)},
+                input_data={src: np.zeros(4)},
+                reuse=False,
+            )
+            assert record.reuse_level is None

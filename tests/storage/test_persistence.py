@@ -1,0 +1,56 @@
+"""Tests for DSLog on-disk persistence (write at ingest, re-open with load)."""
+
+import numpy as np
+import pytest
+
+from repro import DSLog
+from repro.core.relation import LineageRelation
+
+
+def elementwise(shape, in_name, out_name):
+    pairs = [(cell, cell) for cell in np.ndindex(*shape)]
+    return LineageRelation.from_pairs(pairs, shape, shape, in_name=in_name, out_name=out_name)
+
+
+def axis_sum(rows, cols, in_name, out_name):
+    pairs = [((r,), (r, c)) for r in range(rows) for c in range(cols)]
+    return LineageRelation.from_pairs(pairs, (rows,), (rows, cols), in_name=in_name, out_name=out_name)
+
+
+class TestLoad:
+    def _write(self, root, gzip=True):
+        log = DSLog(root=root, gzip=gzip)
+        log.define_array("A", (8, 3))
+        log.define_array("B", (8, 3))
+        log.define_array("C", (8,))
+        log.add_lineage("A", "B", relation=elementwise((8, 3), "A", "B"))
+        log.add_lineage("B", "C", relation=axis_sum(8, 3, "B", "C"))
+        return log
+
+    def test_roundtrip_gzip(self, tmp_path):
+        original = self._write(tmp_path / "db")
+        reopened = DSLog.load(tmp_path / "db")
+        assert set(reopened.catalog.arrays) == {"A", "B", "C"}
+        assert len(reopened.catalog) == 2
+        expected = original.prov_query(["C", "B", "A"], [(4,)]).to_cells()
+        assert reopened.prov_query(["C", "B", "A"], [(4,)]).to_cells() == expected
+
+    def test_roundtrip_plain(self, tmp_path):
+        self._write(tmp_path / "db", gzip=False)
+        reopened = DSLog.load(tmp_path / "db", gzip=False)
+        assert reopened.prov_query(["A", "B", "C"], [(2, 1)]).to_cells() == {(2,)}
+
+    def test_forward_queries_after_load(self, tmp_path):
+        self._write(tmp_path / "db")
+        reopened = DSLog.load(tmp_path / "db")
+        assert reopened.prov_query(["A", "B", "C"], [(5, 0)]).to_cells() == {(5,)}
+
+    def test_load_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        log = DSLog.load(tmp_path / "empty")
+        assert len(log.catalog) == 0
+
+    def test_storage_bytes_preserved(self, tmp_path):
+        original = self._write(tmp_path / "db")
+        reopened = DSLog.load(tmp_path / "db")
+        assert reopened.storage_bytes() == original.storage_bytes()

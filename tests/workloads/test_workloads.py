@@ -1,0 +1,145 @@
+"""Tests for workload generators (Table VII operations, pipelines, Kaggle traces)."""
+
+import numpy as np
+import pytest
+
+from repro.core.provrc import compress
+from repro.workloads.datasets import make_feature_matrix, make_imdb_like
+from repro.workloads.kaggle import OP_VOCABULARY, classify_workflow, generate_workflows, summarize
+from repro.workloads.operations import build_workload, compression_workloads
+from repro.workloads.pipelines import (
+    image_pipeline,
+    random_numpy_pipeline,
+    relational_pipeline,
+    resnet_block_pipeline,
+)
+
+
+class TestDatasets:
+    def test_imdb_like_shapes_and_sortedness(self):
+        imdb = make_imdb_like(n_basics=500, n_episodes=300, seed=1)
+        assert imdb.basics.shape == (500, 5)
+        assert imdb.episode.shape == (300, 4)
+        tconst = imdb.basics[:, 0]
+        start_year = imdb.basics[:, 1]
+        is_adult = imdb.basics[:, 2]
+        assert np.all(np.diff(tconst) >= 0)
+        assert np.all(np.diff(start_year) >= 0)
+        assert set(np.unique(is_adult)) <= {0.0, 1.0}
+
+    def test_feature_matrix_has_nans(self):
+        data = make_feature_matrix(rows=200, cols=8, seed=2)
+        assert np.isnan(data).any()
+
+
+class TestCompressionWorkloads:
+    def test_all_twelve_present(self):
+        names = set(compression_workloads())
+        assert names == {
+            "Negative", "Addition", "Aggregate", "Repetition", "Matrix*Vector",
+            "Matrix*Matrix", "Sort", "ImgFilter", "Lime", "DRISE", "Group By", "Inner Join",
+        }
+
+    @pytest.mark.parametrize("name", sorted(compression_workloads()))
+    def test_workload_builds_and_compresses(self, name):
+        relations = build_workload(name, scale=0.02)
+        assert relations
+        for relation in relations:
+            relation.validate()
+            table = compress(relation)
+            assert table.decompress() == relation.deduplicated()
+
+    def test_structured_ops_compress_to_single_row(self):
+        for name in ("Negative", "Aggregate", "Matrix*Vector", "Matrix*Matrix"):
+            for relation in build_workload(name, scale=0.02):
+                assert len(compress(relation)) == 1, name
+
+    def test_sort_does_not_compress(self):
+        relation = build_workload("Sort", scale=0.02)[0]
+        assert len(compress(relation)) > len(relation) // 2
+
+    def test_scale_changes_size(self):
+        small = build_workload("Negative", scale=0.01)[0]
+        larger = build_workload("Negative", scale=0.05)[0]
+        assert len(larger) > len(small)
+
+
+class TestPipelines:
+    def test_image_pipeline_chain(self):
+        pipeline = image_pipeline(32, 32, lime_samples=30)
+        assert len(pipeline.steps) == 5
+        assert pipeline.path[0] == "img0" and pipeline.path[-1] == "detection"
+        log = pipeline.load_into_dslog()
+        result = log.prov_query(pipeline.path, [(0, 0), (16, 16)])
+        assert result.count_cells() >= 1
+
+    def test_relational_pipeline_chain(self):
+        pipeline = relational_pipeline(300, 200)
+        assert len(pipeline.steps) == 5
+        log = pipeline.load_into_dslog()
+        result = log.prov_query(pipeline.path, [(0, 0)])
+        assert result.count_cells() >= 0
+
+    def test_resnet_pipeline_has_seven_steps(self):
+        pipeline = resnet_block_pipeline(16, 16)
+        assert len(pipeline.steps) == 7
+        log = pipeline.load_into_dslog()
+        # a centre cell reaches a 5x5 receptive field through two 3x3 convolutions
+        result = log.prov_query(pipeline.path, [(8, 8)])
+        assert result.count_cells() == 25
+
+    def test_resnet_backward_query(self):
+        pipeline = resnet_block_pipeline(16, 16)
+        log = pipeline.load_into_dslog()
+        result = log.prov_query(list(reversed(pipeline.path)), [(8, 8)])
+        assert result.count_cells() == 25
+
+    def test_random_pipeline_reproducible(self):
+        a = random_numpy_pipeline(4, n_cells=500, seed=3)
+        b = random_numpy_pipeline(4, n_cells=500, seed=3)
+        assert [r.out_shape for r in a.steps] == [r.out_shape for r in b.steps]
+        assert len(a.steps) == 4
+
+    def test_random_pipeline_queryable(self):
+        pipeline = random_numpy_pipeline(5, n_cells=400, seed=5)
+        log = pipeline.load_into_dslog()
+        result = log.prov_query(pipeline.path, [(0,), (10,)])
+        assert result.count_cells() >= 0
+
+    def test_random_pipeline_matches_baseline_answer(self):
+        from repro.baselines.stores import RawStore
+
+        pipeline = random_numpy_pipeline(4, n_cells=300, seed=7)
+        log = pipeline.load_into_dslog()
+        db = pipeline.load_into_baseline(RawStore())
+        cells = [(i,) for i in range(0, 40, 3)]
+        assert log.prov_query(pipeline.path, cells).to_cells() == db.query_path(pipeline.path, cells)
+
+
+class TestKaggleTraces:
+    def test_vocabulary_has_both_kinds(self):
+        compressible = [op for op in OP_VOCABULARY.values() if op.compressible]
+        incompressible = [op for op in OP_VOCABULARY.values() if not op.compressible]
+        assert compressible and incompressible
+
+    def test_generate_workflows(self):
+        traces = generate_workflows("Flight", n_workflows=8, seed=0)
+        assert len(traces) == 8
+        assert all(trace.operations for trace in traces)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workflows("MNIST", 2)
+
+    def test_classification_consistency(self):
+        trace = generate_workflows("Netflix", 1, seed=1)[0]
+        stats = classify_workflow(trace)
+        assert 0 <= stats["compressible_pct"] <= 100
+        assert stats["compressible_ops"] <= stats["total_ops"]
+
+    def test_summary_matches_paper_ballpark(self):
+        # Table X: roughly 60-80% of operations compressible on both datasets.
+        traces = generate_workflows("Flight", 20, seed=2) + generate_workflows("Netflix", 20, seed=2)
+        summary = summarize(traces)
+        mean_pct = summary["compressible_pct"][0]
+        assert 55 <= mean_pct <= 90
