@@ -1,0 +1,274 @@
+"""Loop-based oracle implementations of the vectorized query/compression kernels.
+
+These are the original (pre-vectorization) per-row Python implementations of
+``theta_join``, ``merge_boxes`` and the ProvRC key-pass greedy run scan.
+They are intentionally simple — one interpreted loop iteration per row or
+box — and define the exact semantics the vectorized kernels in
+:mod:`repro.core.query` and :mod:`repro.core.provrc` must reproduce, down to
+output row ordering.  ``tests/core/test_query_equivalence.py`` checks the
+kernels against these oracles on randomized relations.
+
+Not to be confused with :mod:`repro.core.reference`, which holds the
+set-based brute-force oracles for whole *queries* (ground truth for both the
+in-situ processor and the baselines).  This module pins down the *kernels*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .compressed import KIND_REL, CompressedLineage
+from .provrc import _run_lengths
+
+__all__ = [
+    "theta_join_reference",
+    "merge_boxes_reference",
+    "key_range_pass_reference",
+]
+
+
+def merge_boxes_reference(lo: np.ndarray, hi: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Coalesce boxes with the original per-row sequential sweep."""
+    if lo.shape[0] == 0:
+        return lo, hi
+    stacked = np.concatenate([lo, hi], axis=1)
+    stacked = np.unique(stacked, axis=0)
+    ndim = lo.shape[1]
+    lo = stacked[:, :ndim].copy()
+    hi = stacked[:, ndim:].copy()
+
+    for axis in range(ndim - 1, -1, -1):
+        if lo.shape[0] <= 1:
+            break
+        sort_cols: List[np.ndarray] = [lo[:, axis]]
+        for other in range(ndim - 1, -1, -1):
+            if other == axis:
+                continue
+            sort_cols.append(hi[:, other])
+            sort_cols.append(lo[:, other])
+        order = np.lexsort(sort_cols)
+        lo, hi = lo[order], hi[order]
+
+        same_other = np.ones(lo.shape[0], dtype=bool)
+        same_other[0] = False
+        for other in range(ndim):
+            if other == axis:
+                continue
+            same_other[1:] &= lo[1:, other] == lo[:-1, other]
+            same_other[1:] &= hi[1:, other] == hi[:-1, other]
+
+        # Boxes inside a group (identical on every other axis) are sorted by
+        # their start on *axis*; a box joins the running merged interval when
+        # it overlaps or touches the running end.
+        keep_rows: List[int] = []
+        merged_hi: List[int] = []
+        for t in range(lo.shape[0]):
+            if t > 0 and same_other[t] and int(lo[t, axis]) <= merged_hi[-1] + 1:
+                merged_hi[-1] = max(merged_hi[-1], int(hi[t, axis]))
+            else:
+                keep_rows.append(t)
+                merged_hi.append(int(hi[t, axis]))
+        lo = lo[keep_rows].copy()
+        hi = hi[keep_rows].copy()
+        hi[:, axis] = np.asarray(merged_hi, dtype=np.int64)
+    return lo, hi
+
+
+def theta_join_reference(query, table: CompressedLineage, merge: bool = True):
+    """One θ-join done with the original one-broadcast-per-query-box loop."""
+    from .query import CellBoxSet
+
+    if table.key_name != query.array_name:
+        raise ValueError(
+            f"table is keyed on array {table.key_name!r} but the query targets {query.array_name!r}"
+        )
+    if table.key_ndim != query.ndim:
+        raise ValueError("query dimensionality does not match the table's key arity")
+
+    n_rows = len(table)
+    value_ndim = table.value_ndim
+    out_lo_parts: List[np.ndarray] = []
+    out_hi_parts: List[np.ndarray] = []
+
+    key_lo, key_hi = table.key_lo, table.key_hi
+    val_kind, val_ref = table.val_kind, table.val_ref
+    val_lo, val_hi = table.val_lo, table.val_hi
+
+    for qi in range(len(query)):
+        if n_rows == 0:
+            break
+        q_lo = query.lo[qi]
+        q_hi = query.hi[qi]
+        inter_lo = np.maximum(key_lo, q_lo[None, :])
+        inter_hi = np.minimum(key_hi, q_hi[None, :])
+        matched = (inter_lo <= inter_hi).all(axis=1)
+        if not matched.any():
+            continue
+        inter_lo = inter_lo[matched]
+        inter_hi = inter_hi[matched]
+        row_kind = val_kind[matched]
+        row_ref = val_ref[matched]
+        row_vlo = val_lo[matched]
+        row_vhi = val_hi[matched]
+
+        res_lo = np.empty_like(row_vlo)
+        res_hi = np.empty_like(row_vhi)
+        for i in range(value_ndim):
+            is_rel = row_kind[:, i] == KIND_REL
+            res_lo[:, i] = row_vlo[:, i]
+            res_hi[:, i] = row_vhi[:, i]
+            if is_rel.any():
+                refs = row_ref[is_rel, i]
+                rel_rows = np.flatnonzero(is_rel)
+                # rel_back: absolute = key intersection + delta, applied per row
+                res_lo[rel_rows, i] = inter_lo[rel_rows, refs] + row_vlo[rel_rows, i]
+                res_hi[rel_rows, i] = inter_hi[rel_rows, refs] + row_vhi[rel_rows, i]
+        out_lo_parts.append(res_lo)
+        out_hi_parts.append(res_hi)
+
+    if not out_lo_parts:
+        return CellBoxSet.empty(table.value_name, table.value_shape)
+    lo = np.concatenate(out_lo_parts, axis=0)
+    hi = np.concatenate(out_hi_parts, axis=0)
+    result = CellBoxSet(table.value_name, table.value_shape, lo, hi).clipped()
+    if merge:
+        result = result.merged()
+    return result
+
+
+def key_range_pass_reference(
+    klo: np.ndarray,
+    khi: np.ndarray,
+    vkind: np.ndarray,
+    vref: np.ndarray,
+    vlo: np.ndarray,
+    vhi: np.ndarray,
+    relative: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The original sequential greedy run scan of the ProvRC key pass."""
+    from .compressed import KIND_ABS
+
+    nkey = klo.shape[1]
+    nval = vlo.shape[1]
+    if klo.shape[0] == 0:
+        return klo, khi, vkind, vref, vlo, vhi
+
+    for kj in range(nkey - 1, -1, -1):
+        n = klo.shape[0]
+        sort_cols: List[np.ndarray] = []
+        for j in range(nval - 1, -1, -1):
+            sort_cols.append(vhi[:, j])
+            sort_cols.append(vlo[:, j])
+            sort_cols.append(vref[:, j].astype(np.int64))
+            sort_cols.append(vkind[:, j].astype(np.int64))
+        sort_cols.append(klo[:, kj])
+        for j in range(nkey - 1, -1, -1):
+            if j == kj:
+                continue
+            sort_cols.append(khi[:, j])
+            sort_cols.append(klo[:, j])
+        order = np.lexsort(sort_cols)
+        klo, khi = klo[order], khi[order]
+        vkind, vref = vkind[order], vref[order]
+        vlo, vhi = vlo[order], vhi[order]
+
+        base_ok = np.ones(n, dtype=bool)
+        base_ok[0] = False
+        for j in range(nkey):
+            if j == kj:
+                continue
+            base_ok[1:] &= klo[1:, j] == klo[:-1, j]
+            base_ok[1:] &= khi[1:, j] == khi[:-1, j]
+        base_ok[1:] &= klo[1:, kj] == khi[:-1, kj] + 1
+
+        keep_eq = np.zeros((nval, n), dtype=bool)
+        delta_eq = np.zeros((nval, n), dtype=bool)
+        for i in range(nval):
+            keep_eq[i, 1:] = (
+                (vkind[1:, i] == vkind[:-1, i])
+                & (vref[1:, i] == vref[:-1, i])
+                & (vlo[1:, i] == vlo[:-1, i])
+                & (vhi[1:, i] == vhi[:-1, i])
+            )
+            if relative:
+                both_abs = (vkind[1:, i] == KIND_ABS) & (vkind[:-1, i] == KIND_ABS)
+                dlo_cur = vlo[1:, i] - klo[1:, kj]
+                dlo_prev = vlo[:-1, i] - klo[:-1, kj]
+                dhi_cur = vhi[1:, i] - klo[1:, kj]
+                dhi_prev = vhi[:-1, i] - klo[:-1, kj]
+                delta_eq[i, 1:] = both_abs & (dlo_cur == dlo_prev) & (dhi_cur == dhi_prev)
+
+        can_merge = base_ok.copy()
+        for i in range(nval):
+            can_merge &= keep_eq[i] | delta_eq[i]
+
+        base_run = _run_lengths(base_ok)
+        keep_run = [_run_lengths(keep_eq[i]) for i in range(nval)]
+        delta_run = [_run_lengths(delta_eq[i]) for i in range(nval)]
+        merge_pos = np.flatnonzero(can_merge)
+
+        out_klo, out_khi = [], []
+        out_vkind, out_vref, out_vlo, out_vhi = [], [], [], []
+
+        def emit_singletons(start: int, stop: int) -> None:
+            if stop <= start:
+                return
+            out_klo.append(klo[start:stop])
+            out_khi.append(khi[start:stop])
+            out_vkind.append(vkind[start:stop])
+            out_vref.append(vref[start:stop])
+            out_vlo.append(vlo[start:stop])
+            out_vhi.append(vhi[start:stop])
+
+        s = 0
+        mp_idx = 0
+        n_merge = merge_pos.shape[0]
+        while s < n:
+            while mp_idx < n_merge and merge_pos[mp_idx] <= s:
+                mp_idx += 1
+            if mp_idx >= n_merge:
+                emit_singletons(s, n)
+                break
+            nxt = int(merge_pos[mp_idx])
+            if nxt > s + 1:
+                emit_singletons(s, nxt - 1)
+                s = nxt - 1
+                continue
+            length = int(base_run[s + 1]) if s + 1 < n else 0
+            for i in range(nval):
+                cand = max(int(keep_run[i][s + 1]), int(delta_run[i][s + 1]))
+                length = min(length, cand)
+            e = s + length
+            merged_klo = klo[s].copy()
+            merged_khi = khi[s].copy()
+            merged_khi[kj] = khi[e, kj]
+            merged_kind = vkind[s].copy()
+            merged_ref = vref[s].copy()
+            merged_vlo = vlo[s].copy()
+            merged_vhi = vhi[s].copy()
+            if length > 0:
+                for i in range(nval):
+                    if int(keep_run[i][s + 1]) >= length:
+                        continue  # current encoding is constant across the run
+                    merged_kind[i] = KIND_REL
+                    merged_ref[i] = kj
+                    merged_vlo[i] = vlo[s, i] - klo[s, kj]
+                    merged_vhi[i] = vhi[s, i] - klo[s, kj]
+            out_klo.append(merged_klo[None, :])
+            out_khi.append(merged_khi[None, :])
+            out_vkind.append(merged_kind[None, :])
+            out_vref.append(merged_ref[None, :])
+            out_vlo.append(merged_vlo[None, :])
+            out_vhi.append(merged_vhi[None, :])
+            s = e + 1
+
+        klo = np.concatenate(out_klo, axis=0) if out_klo else klo[:0]
+        khi = np.concatenate(out_khi, axis=0) if out_khi else khi[:0]
+        vkind = np.concatenate(out_vkind, axis=0) if out_vkind else vkind[:0]
+        vref = np.concatenate(out_vref, axis=0) if out_vref else vref[:0]
+        vlo = np.concatenate(out_vlo, axis=0) if out_vlo else vlo[:0]
+        vhi = np.concatenate(out_vhi, axis=0) if out_vhi else vhi[:0]
+
+    return klo, khi, vkind, vref, vlo, vhi

@@ -128,6 +128,18 @@ class CompressedLineage:
             if arr.shape != expect:
                 raise ValueError(f"{name} has shape {arr.shape}, expected {expect}")
 
+        # The query engine de-relativizes with one flat gather over every
+        # relative attribute at once, so an out-of-range reference would read
+        # garbage (a negative ref wraps) instead of raising per row — reject
+        # malformed tables up front.
+        if self.val_kind.size:
+            rel_refs = self.val_ref[self.val_kind == KIND_REL]
+            if rel_refs.size and ((rel_refs < 0).any() or (rel_refs >= nkey).any()):
+                raise ValueError(
+                    "relative value attributes must reference a key attribute "
+                    f"in [0, {nkey})"
+                )
+
     # ------------------------------------------------------------------
     # shape bookkeeping
     # ------------------------------------------------------------------
@@ -167,6 +179,56 @@ class CompressedLineage:
         if self.key_lo.ndim == 2:
             return int(self.key_lo.shape[0])
         return 0
+
+    @property
+    def value_bounds(self) -> np.ndarray:
+        """Cached ``value_shape - 1`` vector used by the θ-join's clip step."""
+        cached = getattr(self, "_value_bounds", None)
+        if cached is None:
+            cached = np.asarray(self.value_shape, dtype=np.int64) - 1
+            self._value_bounds = cached
+        return cached
+
+    @property
+    def uniform_value_encoding(self) -> Optional[List[Tuple[int, int]]]:
+        """Per-column ``(kind, ref)`` when every row agrees on each value
+        column's encoding, else ``None``; computed once and cached.
+
+        Structured lineage (elementwise, broadcasts, row patterns) compresses
+        to tables whose columns are uniformly absolute or uniformly relative
+        with one referenced key attribute, letting the θ-join de-relativize
+        with two column adds instead of a per-(row, attribute) gather.
+        """
+        cached = getattr(self, "_uniform_value_encoding", False)
+        if cached is False:
+            if len(self) == 0:
+                cached = None
+            else:
+                encoding: Optional[List[Tuple[int, int]]] = []
+                for c in range(self.value_ndim):
+                    kinds = self.val_kind[:, c]
+                    refs = self.val_ref[:, c]
+                    if (kinds == kinds[0]).all() and (refs == refs[0]).all():
+                        encoding.append((int(kinds[0]), int(refs[0])))
+                    else:
+                        encoding = None
+                        break
+                cached = encoding
+            self._uniform_value_encoding = cached
+        return cached
+
+    @property
+    def has_relative(self) -> bool:
+        """Whether any value attribute uses the relative (delta) encoding.
+
+        Computed once and cached; the θ-join skips the de-relativization
+        gather entirely for absolute-only tables.
+        """
+        cached = getattr(self, "_has_relative", None)
+        if cached is None:
+            cached = bool((self.val_kind == KIND_REL).any()) if self.val_kind.size else False
+            self._has_relative = cached
+        return cached
 
     # ------------------------------------------------------------------
     # row views

@@ -12,11 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Tuple
 
+import numpy as np
+
 __all__ = [
     "Interval",
     "Box",
     "ranges_from_integers",
     "merge_adjacent_intervals",
+    "union_length",
 ]
 
 
@@ -171,6 +174,28 @@ def ranges_from_integers(values: Iterable[int]) -> list[Interval]:
             lo = hi = value
     out.append(Interval(lo, hi))
     return out
+
+
+def union_length(lo: np.ndarray, hi: np.ndarray) -> int:
+    """Number of distinct integers covered by a union of closed intervals.
+
+    Fully vectorized: sort by ``lo``, track the running maximum ``hi`` to
+    detect where a new disjoint run starts, and sum per-run extents.  Used by
+    the query engine to count 1-D results without materializing a mask.
+    """
+    lo = np.asarray(lo, dtype=np.int64).ravel()
+    hi = np.asarray(hi, dtype=np.int64).ravel()
+    if lo.size == 0:
+        return 0
+    order = np.argsort(lo, kind="stable")
+    lo, hi = lo[order], hi[order]
+    running_hi = np.maximum.accumulate(hi)
+    # a run breaks where the next interval starts beyond the covered prefix
+    new_run = np.ones(lo.size, dtype=bool)
+    new_run[1:] = lo[1:] > running_hi[:-1]
+    firsts = np.flatnonzero(new_run)
+    run_hi = running_hi[np.append(firsts[1:] - 1, lo.size - 1)]
+    return int(np.sum(run_hi - lo[firsts] + 1))
 
 
 def merge_adjacent_intervals(intervals: Iterable[Interval]) -> list[Interval]:

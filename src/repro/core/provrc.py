@@ -17,10 +17,13 @@ The algorithm has two passes over the sorted lineage relation:
    collapsed, exactly mirroring the paper's "non-empty subset of
    ``{a_i, a_i b_1, ..., a_i b_l}`` with the same value" condition.
 
-Both passes are implemented with vectorized numpy primitives plus a greedy
-run scan whose iteration count is proportional to the number of *output*
-rows (tiny for structured lineage), so compression of million-edge
-relations stays tractable in pure Python.
+Both passes are implemented with vectorized numpy primitives end to end.
+The greedy run scan of the key pass is resolved with pointer doubling over
+precomputed run lengths (``O(log n)`` vectorized rounds instead of one
+Python iteration per run), so compression of million-edge relations is
+bounded by numpy throughput rather than the interpreter.  The original
+sequential scan survives as :func:`repro.core._reference.key_range_pass_reference`
+and the equivalence tests assert identical output tables.
 
 The same routine builds both orientations: ``key="output"`` produces the
 backward table (predicates push down on output indices) and ``key="input"``
@@ -211,6 +214,33 @@ def _run_lengths(flags: np.ndarray) -> np.ndarray:
     return next_false - positions
 
 
+def _greedy_scan_starts(jump: np.ndarray) -> np.ndarray:
+    """Positions visited starting from 0 under ``s -> jump[s]`` (``jump[s] > s``).
+
+    This resolves the greedy run scan without a per-run Python loop: the
+    scan's next start position is a function of the current one, so the set
+    of visited positions is the orbit of 0, computed here with pointer
+    doubling — ``ceil(log2(n + 1))`` rounds of vectorized composition
+    instead of one interpreted iteration per emitted row.
+    """
+    n = jump.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    hop = np.empty(n + 1, dtype=np.int64)
+    np.minimum(jump, n, out=hop[:n])
+    hop[n] = n  # absorbing sentinel
+    visited = np.zeros(n + 1, dtype=bool)
+    visited[0] = True
+    span = 1
+    while span <= n:
+        # invariant: visited holds the orbit prefix of < span steps and hop
+        # advances by span steps, so each round doubles the covered prefix
+        visited[hop[visited]] = True
+        hop = hop[hop]
+        span *= 2
+    return np.flatnonzero(visited[:n])
+
+
 def _key_range_pass(
     klo: np.ndarray,
     khi: np.ndarray,
@@ -274,79 +304,49 @@ def _key_range_pass(
                 dhi_prev = vhi[:-1, i] - klo[:-1, kj]
                 delta_eq[i, 1:] = both_abs & (dlo_cur == dlo_prev) & (dhi_cur == dhi_prev)
 
-        can_merge = base_ok.copy()
-        for i in range(nval):
-            can_merge &= keep_eq[i] | delta_eq[i]
-
         base_run = _run_lengths(base_ok)
         keep_run = [_run_lengths(keep_eq[i]) for i in range(nval)]
         delta_run = [_run_lengths(delta_eq[i]) for i in range(nval)]
-        merge_pos = np.flatnonzero(can_merge)
 
-        out_klo, out_khi = [], []
-        out_vkind, out_vref, out_vlo, out_vhi = [], [], [], []
-
-        def emit_singletons(start: int, stop: int) -> None:
-            """Copy rows ``start..stop-1`` through unchanged."""
-            if stop <= start:
-                return
-            out_klo.append(klo[start:stop])
-            out_khi.append(khi[start:stop])
-            out_vkind.append(vkind[start:stop])
-            out_vref.append(vref[start:stop])
-            out_vlo.append(vlo[start:stop])
-            out_vhi.append(vhi[start:stop])
-
-        s = 0
-        mp_idx = 0
-        n_merge = merge_pos.shape[0]
-        while s < n:
-            while mp_idx < n_merge and merge_pos[mp_idx] <= s:
-                mp_idx += 1
-            if mp_idx >= n_merge:
-                emit_singletons(s, n)
-                break
-            nxt = int(merge_pos[mp_idx])
-            if nxt > s + 1:
-                # rows s .. nxt-2 cannot start a merge run
-                emit_singletons(s, nxt - 1)
-                s = nxt - 1
-                continue
-            # a merge run starts at s (rows s, s+1, ... may collapse)
-            length = int(base_run[s + 1]) if s + 1 < n else 0
+        # Maximal collapsible run length starting at each row: bounded by the
+        # key-contiguity run and, per value attribute, by the better of the
+        # two candidate encodings (keep absolute vs switch to delta).  The
+        # length is 0 exactly where no merge can start (can_merge is false at
+        # the following row), so the greedy scan reduces to jumping
+        # run_length + 1 rows ahead from each emitted row.
+        run_length = np.zeros(n, dtype=np.int64)
+        if n > 1:
+            best = base_run[1:].copy()
             for i in range(nval):
-                cand = max(int(keep_run[i][s + 1]), int(delta_run[i][s + 1]))
-                length = min(length, cand)
-            e = s + length
-            merged_klo = klo[s].copy()
-            merged_khi = khi[s].copy()
-            merged_khi[kj] = khi[e, kj]
-            merged_kind = vkind[s].copy()
-            merged_ref = vref[s].copy()
-            merged_vlo = vlo[s].copy()
-            merged_vhi = vhi[s].copy()
-            if length > 0:
-                for i in range(nval):
-                    if int(keep_run[i][s + 1]) >= length:
-                        continue  # current encoding is constant across the run
-                    # switch to the delta encoding relative to key attribute kj
-                    merged_kind[i] = KIND_REL
-                    merged_ref[i] = kj
-                    merged_vlo[i] = vlo[s, i] - klo[s, kj]
-                    merged_vhi[i] = vhi[s, i] - klo[s, kj]
-            out_klo.append(merged_klo[None, :])
-            out_khi.append(merged_khi[None, :])
-            out_vkind.append(merged_kind[None, :])
-            out_vref.append(merged_ref[None, :])
-            out_vlo.append(merged_vlo[None, :])
-            out_vhi.append(merged_vhi[None, :])
-            s = e + 1
+                np.minimum(best, np.maximum(keep_run[i][1:], delta_run[i][1:]), out=best)
+            run_length[:-1] = best
 
-        klo = np.concatenate(out_klo, axis=0) if out_klo else klo[:0]
-        khi = np.concatenate(out_khi, axis=0) if out_khi else khi[:0]
-        vkind = np.concatenate(out_vkind, axis=0) if out_vkind else vkind[:0]
-        vref = np.concatenate(out_vref, axis=0) if out_vref else vref[:0]
-        vlo = np.concatenate(out_vlo, axis=0) if out_vlo else vlo[:0]
-        vhi = np.concatenate(out_vhi, axis=0) if out_vhi else vhi[:0]
+        starts = _greedy_scan_starts(np.arange(n, dtype=np.int64) + run_length + 1)
+        length = run_length[starts]
+        ends = starts + length
+
+        # advanced indexing copies, so the in-place edits below are safe
+        new_klo, new_khi = klo[starts], khi[starts]
+        new_vkind, new_vref = vkind[starts], vref[starts]
+        new_vlo, new_vhi = vlo[starts], vhi[starts]
+        new_khi[:, kj] = khi[ends, kj]
+
+        collapsed = length > 0
+        if collapsed.any():
+            succ = np.minimum(starts + 1, n - 1)  # valid wherever collapsed
+            for i in range(nval):
+                # keep the current encoding when it is constant across the
+                # run; otherwise switch to the delta relative to attribute kj
+                switch = collapsed & (keep_run[i][succ] < length)
+                if switch.any():
+                    rows = starts[switch]
+                    new_vkind[switch, i] = KIND_REL
+                    new_vref[switch, i] = kj
+                    new_vlo[switch, i] = vlo[rows, i] - klo[rows, kj]
+                    new_vhi[switch, i] = vhi[rows, i] - klo[rows, kj]
+
+        klo, khi = new_klo, new_khi
+        vkind, vref = new_vkind, new_vref
+        vlo, vhi = new_vlo, new_vhi
 
     return klo, khi, vkind, vref, vlo, vhi

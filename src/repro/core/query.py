@@ -13,22 +13,49 @@ of θ-joins executed directly on the compressed tables:
    before the next hop (the "DSLog-NoMerge" ablation skips this step).
 
 No decompression of the lineage tables happens at any point.
+
+Every kernel here is vectorized: the θ-join is a blocked Q×N×d interval
+intersection (the block size is chosen so scratch arrays never exceed
+:data:`THETA_JOIN_BLOCK_BUDGET_BYTES`), the box merge is a segmented scan
+(lexsort + group-boundary detection + segmented running maxima), and result
+counting uses an exact sweep over a coordinate-compressed disjoint box
+decomposition.  The original per-row loop implementations live on in
+:mod:`repro.core._reference` as oracles for the equivalence tests.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from .compressed import KIND_REL, CompressedLineage
-from .intervals import Box, Interval
+from .intervals import Box, Interval, union_length
 
-__all__ = ["CellBoxSet", "HopStats", "QueryResult", "theta_join", "execute_path", "merge_boxes"]
+__all__ = [
+    "CellBoxSet",
+    "HopStats",
+    "QueryResult",
+    "theta_join",
+    "execute_path",
+    "merge_boxes",
+    "THETA_JOIN_BLOCK_BUDGET_BYTES",
+    "COUNT_GRID_CELL_LIMIT",
+]
 
 Cell = Tuple[int, ...]
+
+# Scratch-memory budget for one θ-join block: the two Q_block × N × d
+# intersection arrays plus the Q_block × N match mask must stay under this
+# many bytes, so a 10k-box query against a 100k-row table never materializes
+# the full Q×N×d tensor at once.
+THETA_JOIN_BLOCK_BUDGET_BYTES = 64 * 1024 * 1024
+
+# count_cells builds an occupancy grid over the coordinate-compressed box
+# corners; above this many grid cells it falls back to slower exact paths.
+COUNT_GRID_CELL_LIMIT = 8_000_000
 
 
 # ----------------------------------------------------------------------
@@ -55,20 +82,86 @@ class CellBoxSet:
 
     # -- constructors ---------------------------------------------------
     @classmethod
+    def _wrap(cls, array_name: str, shape: Tuple[int, ...], lo: np.ndarray, hi: np.ndarray) -> "CellBoxSet":
+        """Trusted constructor for kernel-internal ``(n, ndim)`` int64 arrays.
+
+        Skips the coercion and validation of ``__init__`` — the query hot
+        path builds many short-lived box sets per hop and the re-validation
+        of arrays the kernels just produced dominates small queries.
+        """
+        out = cls.__new__(cls)
+        out.array_name = array_name
+        out.shape = shape
+        out.lo = lo
+        out.hi = hi
+        return out
+
+    @classmethod
     def empty(cls, array_name: str, shape: Sequence[int]) -> "CellBoxSet":
         ndim = len(shape)
-        return cls(array_name, tuple(shape), np.empty((0, ndim), np.int64), np.empty((0, ndim), np.int64))
+        return cls._wrap(
+            array_name, tuple(int(d) for d in shape), np.empty((0, ndim), np.int64), np.empty((0, ndim), np.int64)
+        )
 
     @classmethod
     def from_cells(cls, array_name: str, shape: Sequence[int], cells: Iterable[Cell]) -> "CellBoxSet":
-        cells = [tuple(int(v) for v in cell) for cell in cells]
-        if not cells:
-            return cls.empty(array_name, shape)
+        if not isinstance(cells, np.ndarray):
+            if not isinstance(cells, (list, tuple)):
+                cells = list(cells)
+            if not cells:
+                return cls.empty(array_name, shape)
         arr = np.asarray(cells, dtype=np.int64)
+        if arr.size == 0:
+            return cls.empty(array_name, shape)
         if arr.ndim == 1:
             arr = arr.reshape(-1, 1)
-        box_set = cls(array_name, tuple(shape), arr.copy(), arr.copy())
-        return box_set.merged()
+        if arr.shape[1] != len(shape):
+            raise ValueError(
+                f"cells have {arr.shape[1]} coordinates but the array has {len(shape)} axes"
+            )
+        # Out-of-bounds cells are dropped rather than surviving silently
+        # until clipped(); a point cell is either fully inside or fully out.
+        # ravel_multi_index rejects such cells itself, so the common all-in-
+        # bounds case pays no separate bounds check.
+        shape = tuple(int(d) for d in shape)
+        try:
+            flat = np.ravel_multi_index(tuple(arr.T), shape)
+        except ValueError:
+            bounds = np.asarray(shape, dtype=np.int64)
+            in_bounds = ((arr >= 0) & (arr < bounds[None, :])).all(axis=1)
+            arr = arr[in_bounds]
+            if arr.shape[0] == 0:
+                return cls.empty(array_name, shape)
+            flat = np.ravel_multi_index(tuple(arr.T), shape)
+
+        # Point boxes allow a cheap first merge pass: one sort+dedup over the
+        # flat indices, then range-encoding of flat runs that stay inside a
+        # row of the last axis.  The flat order is exactly the lexsort order
+        # of merge_boxes' last-axis pass, so chaining the remaining per-axis
+        # passes yields the identical merged result.
+        if flat.size > 1:
+            if np.all(flat[1:] > flat[:-1]):
+                pass  # already sorted and duplicate-free (common for slices)
+            else:
+                flat.sort()
+                keep = np.ones(flat.size, dtype=bool)
+                keep[1:] = flat[1:] != flat[:-1]
+                flat = flat[keep]
+        new_run = np.ones(flat.size, dtype=bool)
+        new_run[1:] = flat[1:] != flat[:-1] + 1
+        new_run |= flat % shape[-1] == 0  # runs must not wrap across rows
+        firsts = np.flatnonzero(new_run)
+        lasts = np.append(firsts[1:] - 1, flat.size - 1)
+        lo = np.stack(np.unravel_index(flat[firsts], shape), axis=1).astype(np.int64, copy=False)
+        ndim = len(shape)
+        boxes = np.concatenate([lo, lo], axis=1)
+        boxes[:, -1] += flat[lasts] - flat[firsts]
+        span = max(shape) + 2  # cells are in-bounds, so the shape bounds the coords
+        for axis in range(ndim - 2, -1, -1):
+            if boxes.shape[0] <= 1:
+                break
+            boxes = _merge_axis_pass(boxes, axis, ndim, span)
+        return cls._wrap(array_name, shape, boxes[:, :ndim], boxes[:, ndim:])
 
     @classmethod
     def from_boxes(
@@ -128,12 +221,31 @@ class CellBoxSet:
         return mask
 
     def count_cells(self) -> int:
-        """Exact number of distinct cells covered by the boxes."""
+        """Exact number of distinct cells covered by the boxes.
+
+        Boxes may overlap, so this is a measure-of-union problem.  The boxes
+        are first coalesced, then counted with an exact sweep over the
+        coordinate-compressed grid spanned by the box corners: every grid
+        cell is covered either fully or not at all, so the occupied cells
+        form a disjoint box decomposition of the union and the answer is the
+        sum of their volumes.  No array-sized mask is ever allocated.
+        """
         if self.is_empty():
             return 0
+        lo, hi = self.lo, self.hi
+        if lo.shape[0] > 1:
+            lo, hi = merge_boxes(lo, hi)
+        if lo.shape[0] == 1:
+            return int(np.prod(hi[0] - lo[0] + 1))
+        if self.ndim == 1:
+            return union_length(lo[:, 0], hi[:, 0])
+        count = _count_union_grid(lo, hi)
+        if count >= 0:
+            return count
+        # pathological fallback: grid too large for the sweep's budget
         total_cells = int(np.prod(self.shape))
         if total_cells <= 50_000_000:
-            return int(self.to_mask().sum())
+            return int(CellBoxSet(self.array_name, self.shape, lo, hi).to_mask().sum())
         return len(self.to_cells())
 
     def clipped(self) -> "CellBoxSet":
@@ -144,70 +256,140 @@ class CellBoxSet:
         lo = np.maximum(self.lo, 0)
         hi = np.minimum(self.hi, bounds)
         keep = (lo <= hi).all(axis=1)
-        return CellBoxSet(self.array_name, self.shape, lo[keep], hi[keep])
+        if not keep.all():
+            lo, hi = lo[keep], hi[keep]
+        return CellBoxSet._wrap(self.array_name, self.shape, lo, hi)
 
     def merged(self) -> "CellBoxSet":
         """Coalesce duplicate and adjacent boxes (the merge optimization)."""
-        if self.is_empty():
+        if len(self) <= 1:
             return self
         lo, hi = merge_boxes(self.lo, self.hi)
-        return CellBoxSet(self.array_name, self.shape, lo, hi)
+        return CellBoxSet._wrap(self.array_name, self.shape, lo, hi)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CellBoxSet({self.array_name}, boxes={len(self)})"
 
 
+def _count_union_grid(lo: np.ndarray, hi: np.ndarray) -> int:
+    """Exact union volume of possibly overlapping boxes, or ``-1`` when the
+    compressed grid would exceed :data:`COUNT_GRID_CELL_LIMIT` cells.
+
+    Coordinate compression turns the union into a disjoint decomposition:
+    the corners ``lo`` and ``hi + 1`` cut each axis into slabs, every box is
+    an exact union of grid cells, and a d-dimensional difference array plus
+    one cumulative sum per axis yields the per-cell cover counts without any
+    per-box Python loop.
+    """
+    n, ndim = lo.shape
+    edges = [np.unique(np.concatenate([lo[:, d], hi[:, d] + 1])) for d in range(ndim)]
+    grid_cells = 1
+    for e in edges:
+        grid_cells *= e.size  # the difference array carries one extra slot per axis
+        if grid_cells > COUNT_GRID_CELL_LIMIT:
+            return -1
+
+    # +1 per axis so the "exclusive end" corners have a slot to land in
+    diff = np.zeros(tuple(e.size for e in edges), dtype=np.int32)
+    starts = [np.searchsorted(edges[d], lo[:, d]) for d in range(ndim)]
+    stops = [np.searchsorted(edges[d], hi[:, d] + 1) for d in range(ndim)]
+    for corner in range(1 << ndim):
+        index = []
+        sign = 1
+        for d in range(ndim):
+            if corner >> d & 1:
+                index.append(stops[d])
+                sign = -sign
+            else:
+                index.append(starts[d])
+        np.add.at(diff, tuple(index), sign)
+    for d in range(ndim):
+        np.cumsum(diff, axis=d, out=diff)
+
+    covered = diff[tuple(slice(0, -1) for _ in range(ndim))] > 0
+    # weighted count: contract one axis at a time against the slab widths
+    acc = covered.astype(np.int64)
+    for d in range(ndim - 1, -1, -1):
+        acc = acc @ np.diff(edges[d])
+    return int(acc)
+
+
 def merge_boxes(lo: np.ndarray, hi: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Coalesce boxes with a range-encoding-style sweep.
+    """Coalesce boxes with a range-encoding-style segmented sweep.
 
     Duplicate boxes are removed, then for each axis in turn boxes that agree
     on every other axis and overlap or touch on that axis are merged.  This
-    mirrors the row-reduction DSLog applies between θ-joins.
+    mirrors the row-reduction DSLog applies between θ-joins.  The per-axis
+    reduction is a segmented scan: groups (identical on every other axis)
+    come out of the lexsort adjacent, a segmented running maximum of the
+    interval ends finds where each merged run breaks, and
+    ``np.maximum.reduceat`` collapses the runs — no per-box Python loop.
+
+    Unlike the loop oracle, no explicit duplicate-removal pass is needed:
+    duplicate boxes agree on every sort key of the first axis pass, land in
+    the same run and collapse there, and the final pass's sort keys fully
+    determine the output order, so the result is identical either way.
     """
     if lo.shape[0] == 0:
         return lo, hi
-    stacked = np.concatenate([lo, hi], axis=1)
-    stacked = np.unique(stacked, axis=0)
     ndim = lo.shape[1]
-    lo = stacked[:, :ndim].copy()
-    hi = stacked[:, ndim:].copy()
-
+    if lo.shape[0] == 1:
+        return lo, hi
+    boxes = np.concatenate([lo, hi], axis=1)
+    # one band-separation span serves every pass: merging never widens the
+    # value range (merged his are maxima of existing his)
+    span = int(boxes.max()) - int(boxes.min()) + 2
     for axis in range(ndim - 1, -1, -1):
-        if lo.shape[0] <= 1:
+        boxes = _merge_axis_pass(boxes, axis, ndim, span)
+        if boxes.shape[0] <= 1:
             break
-        sort_cols: List[np.ndarray] = [lo[:, axis]]
-        for other in range(ndim - 1, -1, -1):
-            if other == axis:
-                continue
-            sort_cols.append(hi[:, other])
-            sort_cols.append(lo[:, other])
-        order = np.lexsort(sort_cols)
-        lo, hi = lo[order], hi[order]
+    return boxes[:, :ndim], boxes[:, ndim:]
 
-        same_other = np.ones(lo.shape[0], dtype=bool)
-        same_other[0] = False
-        for other in range(ndim):
-            if other == axis:
-                continue
-            same_other[1:] &= lo[1:, other] == lo[:-1, other]
-            same_other[1:] &= hi[1:, other] == hi[:-1, other]
 
-        # Boxes inside a group (identical on every other axis) are sorted by
-        # their start on *axis*; a box joins the running merged interval when
-        # it overlaps or touches the running end.  The running end must reset
-        # per group, so this reduction is a short sequential sweep.
-        keep_rows: List[int] = []
-        merged_hi: List[int] = []
-        for t in range(lo.shape[0]):
-            if t > 0 and same_other[t] and int(lo[t, axis]) <= merged_hi[-1] + 1:
-                merged_hi[-1] = max(merged_hi[-1], int(hi[t, axis]))
-            else:
-                keep_rows.append(t)
-                merged_hi.append(int(hi[t, axis]))
-        lo = lo[keep_rows].copy()
-        hi = hi[keep_rows].copy()
-        hi[:, axis] = np.asarray(merged_hi, dtype=np.int64)
-    return lo, hi
+def _merge_axis_pass(boxes: np.ndarray, axis: int, ndim: int, span: int) -> np.ndarray:
+    """One segmented merge pass along *axis* over ``(n, 2 * ndim)`` boxes
+    (``lo`` columns first, then ``hi``).
+
+    Boxes that agree on every other axis form a group; within a group the
+    lexsort orders boxes by their start on *axis*, and a run of boxes whose
+    intervals overlap or touch collapses to one row.  The segmented running
+    maximum that detects run breaks offsets each group into its own value
+    band so a single global ``np.maximum.accumulate`` respects group resets.
+    """
+    n = boxes.shape[0]
+    sort_cols: List[np.ndarray] = [boxes[:, axis]]
+    for other in range(ndim - 1, -1, -1):
+        if other == axis:
+            continue
+        sort_cols.append(boxes[:, ndim + other])
+        sort_cols.append(boxes[:, other])
+    order = np.lexsort(sort_cols)
+    boxes = boxes[order]
+
+    others = boxes[:, [c for c in range(2 * ndim) if c != axis and c != ndim + axis]]
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    np.any(others[1:] != others[:-1], axis=1, out=new_group[1:])
+
+    axis_lo = boxes[:, axis]
+    axis_hi = boxes[:, ndim + axis]
+    # the shift only has to separate the bands, not normalize to zero, so
+    # the raw values are offset as-is (int64 headroom is ample)
+    band = np.cumsum(new_group)
+    np.multiply(band, span, out=band)
+    run_hi = axis_hi + band
+    np.maximum.accumulate(run_hi, out=run_hi)
+    # a new run starts at a group boundary or where the interval begins
+    # beyond the group's covered prefix (gap of at least one); across bands
+    # the comparison is always true, so no masking is needed
+    run_start = new_group
+    run_start[1:] |= (axis_lo[1:] + band[1:]) > run_hi[:-1] + 1
+    run_firsts = np.flatnonzero(run_start)
+    if run_firsts.size == n:
+        return boxes  # nothing merged on this axis (rows stay sorted)
+    merged = boxes[run_firsts]
+    merged[:, ndim + axis] = np.maximum.reduceat(axis_hi, run_firsts)
+    return merged
 
 
 # ----------------------------------------------------------------------
@@ -224,6 +406,7 @@ class HopStats:
     boxes_out_raw: int
     boxes_out_merged: int
     seconds: float
+    join_blocks: int = 0  # number of Q-blocks the blocked θ-join processed
 
 
 @dataclass
@@ -240,15 +423,60 @@ class QueryResult:
         return self.cells.count_cells()
 
 
+def _rel_back(
+    table: CompressedLineage,
+    row_idx: np.ndarray,
+    inter_lo: np.ndarray,
+    inter_hi: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """De-relativize the matched rows' value intervals (``rel_back``).
+
+    ``inter_lo``/``inter_hi`` are the key intersections of the matched rows;
+    relative value attributes become absolute with one flat fancy-indexed
+    gather over every (row, attribute) pair at once.
+    """
+    # fancy indexing copies, so the in-place de-relativization is safe
+    res_lo = table.val_lo[row_idx]
+    res_hi = table.val_hi[row_idx]
+    if not table.has_relative:
+        return res_lo, res_hi
+    encoding = table.uniform_value_encoding
+    if encoding is not None:
+        # uniformly-encoded columns (the common structured-lineage case):
+        # rel_back is two column adds per relative attribute
+        for column, (kind, ref) in enumerate(encoding):
+            if kind == KIND_REL:
+                res_lo[:, column] += inter_lo[:, ref]
+                res_hi[:, column] += inter_hi[:, ref]
+        return res_lo, res_hi
+    rel_r, rel_c = np.nonzero(table.val_kind[row_idx] == KIND_REL)
+    if rel_r.size:
+        refs = table.val_ref[row_idx[rel_r], rel_c]
+        # rel_back: absolute = key intersection + delta, one flat gather
+        res_lo[rel_r, rel_c] += inter_lo[rel_r, refs]
+        res_hi[rel_r, rel_c] += inter_hi[rel_r, refs]
+    return res_lo, res_hi
+
+
 def theta_join(
     query: CellBoxSet,
     table: CompressedLineage,
     merge: bool = True,
+    stats: Optional[Dict[str, int]] = None,
 ) -> CellBoxSet:
     """One θ-join of a query box set against a compressed lineage table.
 
     The table's key side must correspond to the query's array; the result is
     a box set over the table's value-side array.
+
+    The join is a single blocked interval-intersection over all Q×N
+    (query box, compressed row) pairs: each block broadcasts a slice of the
+    query against the whole table, keeps the overlapping pairs, and applies
+    ``rel_back`` de-relativization with one flat fancy-indexed gather over
+    every relative value attribute at once.  The block size is derived from
+    :data:`THETA_JOIN_BLOCK_BUDGET_BYTES` so scratch memory stays bounded
+    regardless of query and table sizes.  When *stats* is given, the number
+    of processed blocks is recorded under ``"join_blocks"``.
     """
     if table.key_name != query.array_name:
         raise ValueError(
@@ -258,51 +486,59 @@ def theta_join(
         raise ValueError("query dimensionality does not match the table's key arity")
 
     n_rows = len(table)
-    value_ndim = table.value_ndim
-    out_lo_parts: List[np.ndarray] = []
-    out_hi_parts: List[np.ndarray] = []
-
-    key_lo, key_hi = table.key_lo, table.key_hi
-    val_kind, val_ref = table.val_kind, table.val_ref
-    val_lo, val_hi = table.val_lo, table.val_hi
-
-    for qi in range(len(query)):
-        if n_rows == 0:
-            break
-        q_lo = query.lo[qi]
-        q_hi = query.hi[qi]
-        inter_lo = np.maximum(key_lo, q_lo[None, :])
-        inter_hi = np.minimum(key_hi, q_hi[None, :])
-        matched = (inter_lo <= inter_hi).all(axis=1)
-        if not matched.any():
-            continue
-        inter_lo = inter_lo[matched]
-        inter_hi = inter_hi[matched]
-        row_kind = val_kind[matched]
-        row_ref = val_ref[matched]
-        row_vlo = val_lo[matched]
-        row_vhi = val_hi[matched]
-
-        res_lo = np.empty_like(row_vlo)
-        res_hi = np.empty_like(row_vhi)
-        for i in range(value_ndim):
-            is_rel = row_kind[:, i] == KIND_REL
-            res_lo[:, i] = row_vlo[:, i]
-            res_hi[:, i] = row_vhi[:, i]
-            if is_rel.any():
-                refs = row_ref[is_rel, i]
-                rel_rows = np.flatnonzero(is_rel)
-                # rel_back: absolute = key intersection + delta, applied per row
-                res_lo[rel_rows, i] = inter_lo[rel_rows, refs] + row_vlo[rel_rows, i]
-                res_hi[rel_rows, i] = inter_hi[rel_rows, refs] + row_vhi[rel_rows, i]
-        out_lo_parts.append(res_lo)
-        out_hi_parts.append(res_hi)
-
-    if not out_lo_parts:
+    n_query = len(query)
+    if stats is not None:
+        stats["join_blocks"] = 0
+    if n_rows == 0 or n_query == 0:
         return CellBoxSet.empty(table.value_name, table.value_shape)
-    lo = np.concatenate(out_lo_parts, axis=0)
-    hi = np.concatenate(out_hi_parts, axis=0)
-    result = CellBoxSet(table.value_name, table.value_shape, lo, hi).clipped()
+
+    key_ndim = table.key_ndim
+    # scratch per query box: two (n_rows, key_ndim) int64 intersection rows
+    # plus the n_rows boolean match column
+    bytes_per_query_box = n_rows * (2 * key_ndim * 8 + 1)
+    block = max(1, THETA_JOIN_BLOCK_BUDGET_BYTES // max(bytes_per_query_box, 1))
+
+    if n_query == 1:
+        # the one-box case (typical after a hop merge) stays 2-D end to end
+        if stats is not None:
+            stats["join_blocks"] = 1
+        inter_lo = np.maximum(table.key_lo, query.lo[0])
+        inter_hi = np.minimum(table.key_hi, query.hi[0])
+        matched = (inter_lo <= inter_hi).all(axis=1)
+        row_idx = np.flatnonzero(matched)
+        lo, hi = _rel_back(table, row_idx, inter_lo[row_idx], inter_hi[row_idx])
+    else:
+        key_lo = table.key_lo[None, :, :]
+        key_hi = table.key_hi[None, :, :]
+        out_lo_parts: List[np.ndarray] = []
+        out_hi_parts: List[np.ndarray] = []
+        for start in range(0, n_query, block):
+            stop = min(start + block, n_query)
+            if stats is not None:
+                stats["join_blocks"] += 1
+            inter_lo = np.maximum(key_lo, query.lo[start:stop, None, :])
+            inter_hi = np.minimum(key_hi, query.hi[start:stop, None, :])
+            matched = (inter_lo <= inter_hi).all(axis=2)
+            q_idx, row_idx = np.nonzero(matched)
+            res_lo, res_hi = _rel_back(
+                table, row_idx, inter_lo[q_idx, row_idx], inter_hi[q_idx, row_idx]
+            )
+            out_lo_parts.append(res_lo)
+            out_hi_parts.append(res_hi)
+        if len(out_lo_parts) == 1:
+            lo, hi = out_lo_parts[0], out_hi_parts[0]
+        else:
+            lo = np.concatenate(out_lo_parts, axis=0)
+            hi = np.concatenate(out_hi_parts, axis=0)
+
+    # clip to the value array's bounds in place (the arrays are fresh
+    # per-block copies), dropping boxes that fall outside entirely
+    np.maximum(lo, 0, out=lo)
+    np.minimum(hi, table.value_bounds, out=hi)
+    keep = (lo <= hi).all(axis=1)
+    if not keep.all():
+        lo, hi = lo[keep], hi[keep]
+    result = CellBoxSet._wrap(table.value_name, table.value_shape, lo, hi)
     if merge:
         result = result.merged()
     return result
@@ -321,10 +557,11 @@ def execute_path(
     """
     current = query
     hops: List[HopStats] = []
+    join_stats: Dict[str, int] = {}
     for table in tables:
         start = time.perf_counter()
         boxes_in = len(current)
-        joined = theta_join(current, table, merge=False)
+        joined = theta_join(current, table, merge=False, stats=join_stats)
         raw_boxes = len(joined)
         if merge:
             joined = joined.merged()
@@ -338,6 +575,7 @@ def execute_path(
                 boxes_out_raw=raw_boxes,
                 boxes_out_merged=len(joined),
                 seconds=elapsed,
+                join_blocks=join_stats.get("join_blocks", 0),
             )
         )
         current = joined

@@ -84,6 +84,9 @@ class Catalog:
         self.arrays: Dict[str, ArrayInfo] = {}
         self._entries: Dict[Tuple[str, str], LineageEntry] = {}
         self.operations: List[OperationRecord] = []
+        # bumped whenever the entry set changes, so path-resolution caches
+        # (DSLog.prov_query) can cheaply detect staleness
+        self.version = 0
 
     # ------------------------------------------------------------------
     # arrays
@@ -137,6 +140,7 @@ class Catalog:
             reused=reused,
         )
         self._entries[(entry.in_name, entry.out_name)] = entry
+        self.version += 1
         return entry
 
     def entry(self, in_name: str, out_name: str) -> LineageEntry:
