@@ -22,12 +22,16 @@ from .core.provrc import compress, compress_both
 from .core.query import CellBoxSet, QueryResult
 from .core.relation import LineageRelation
 from .dslog import DSLog
+from .graph import LineageGraph
+from .storage.store import LineageStore
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "DSLog",
     "LineageRelation",
+    "LineageGraph",
+    "LineageStore",
     "CompressedLineage",
     "CellBoxSet",
     "QueryResult",

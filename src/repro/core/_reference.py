@@ -15,6 +15,7 @@ in-situ processor and the baselines).  This module pins down the *kernels*.
 
 from __future__ import annotations
 
+import itertools
 from typing import List, Tuple
 
 import numpy as np
@@ -95,6 +96,12 @@ def theta_join_reference(query, table: CompressedLineage, merge: bool = True):
     key_lo, key_hi = table.key_lo, table.key_hi
     val_kind, val_ref = table.val_kind, table.val_ref
     val_lo, val_hi = table.val_lo, table.val_hi
+    shared_mask = table.shared_ref_mask
+    # (row, key intersection) pairs whose row has a key attribute referenced
+    # by two or more relative value attributes AND a multi-index intersection
+    # on it: interval rel_back would turn the diagonal into a full box, so
+    # these pairs are expanded per key point after the exact pairs
+    deferred: List[Tuple[int, np.ndarray, np.ndarray]] = []
 
     for qi in range(len(query)):
         if n_rows == 0:
@@ -104,6 +111,11 @@ def theta_join_reference(query, table: CompressedLineage, merge: bool = True):
         inter_lo = np.maximum(key_lo, q_lo[None, :])
         inter_hi = np.minimum(key_hi, q_hi[None, :])
         matched = (inter_lo <= inter_hi).all(axis=1)
+        if shared_mask is not None and matched.any():
+            needs = matched & (shared_mask & (inter_hi > inter_lo)).any(axis=1)
+            for r in np.flatnonzero(needs):
+                deferred.append((int(r), inter_lo[r].copy(), inter_hi[r].copy()))
+            matched &= ~needs
         if not matched.any():
             continue
         inter_lo = inter_lo[matched]
@@ -127,6 +139,23 @@ def theta_join_reference(query, table: CompressedLineage, merge: bool = True):
                 res_hi[rel_rows, i] = inter_hi[rel_rows, refs] + row_vhi[rel_rows, i]
         out_lo_parts.append(res_lo)
         out_hi_parts.append(res_hi)
+
+    for r, ilo, ihi in deferred:
+        shared = np.flatnonzero(shared_mask[r])
+        point_ranges = [range(int(ilo[k]), int(ihi[k]) + 1) for k in shared]
+        for combo in itertools.product(*point_ranges):
+            klo = ilo.copy()
+            khi = ihi.copy()
+            klo[shared] = combo
+            khi[shared] = combo
+            lo = val_lo[r].copy()
+            hi = val_hi[r].copy()
+            for i in range(value_ndim):
+                if val_kind[r, i] == KIND_REL:
+                    lo[i] += klo[val_ref[r, i]]
+                    hi[i] += khi[val_ref[r, i]]
+            out_lo_parts.append(lo[None, :])
+            out_hi_parts.append(hi[None, :])
 
     if not out_lo_parts:
         return CellBoxSet.empty(table.value_name, table.value_shape)

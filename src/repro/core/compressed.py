@@ -218,6 +218,35 @@ class CompressedLineage:
         return cached
 
     @property
+    def shared_ref_mask(self) -> Optional[np.ndarray]:
+        """``(rows, key_ndim)`` bool mask marking key attributes referenced
+        by two or more relative value attributes of the same row, or ``None``
+        when no row shares a reference; computed once and cached.
+
+        A single relative attribute stays exact under interval ``rel_back``
+        (the union of ``[v + dlo, v + dhi]`` over a key interval is itself an
+        interval), but two attributes referencing the *same* key attribute
+        describe a diagonal: the θ-join must expand such key attributes per
+        index point instead of taking the Cartesian product of the two
+        de-relativized intervals.
+        """
+        cached = getattr(self, "_shared_ref_mask", False)
+        if cached is False:
+            if len(self) == 0 or not self.has_relative:
+                cached = None
+            else:
+                counts = np.zeros((len(self), self.key_ndim), dtype=np.int8)
+                for column in range(self.value_ndim):
+                    rel_rows = np.flatnonzero(self.val_kind[:, column] == KIND_REL)
+                    # one contribution per row within a column, so the fancy
+                    # indexed increment never hits duplicate positions
+                    counts[rel_rows, self.val_ref[rel_rows, column]] += 1
+                mask = counts >= 2
+                cached = mask if mask.any() else None
+            self._shared_ref_mask = cached
+        return cached
+
+    @property
     def has_relative(self) -> bool:
         """Whether any value attribute uses the relative (delta) encoding.
 

@@ -25,6 +25,7 @@ decomposition.  The original per-row loop implementations live on in
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -419,8 +420,102 @@ class QueryResult:
     def to_cells(self) -> Set[Cell]:
         return self.cells.to_cells()
 
+    @classmethod
+    def union(cls, results: Sequence["QueryResult"], merge: bool = True) -> "QueryResult":
+        """Combine per-path results into one (multi-path union queries).
+
+        All results must target the same array; the box sets are
+        concatenated (and coalesced when *merge* is set) and the per-hop
+        statistics of every contributing path are kept in order.
+        """
+        if not results:
+            raise ValueError("cannot union an empty list of query results")
+        if len(results) == 1:
+            return results[0]
+        first = results[0].cells
+        for other in results[1:]:
+            if other.cells.array_name != first.array_name or other.cells.shape != first.shape:
+                raise ValueError(
+                    "cannot union results over different arrays: "
+                    f"{first.array_name!r} vs {other.cells.array_name!r}"
+                )
+        lo = np.concatenate([r.cells.lo for r in results], axis=0)
+        hi = np.concatenate([r.cells.hi for r in results], axis=0)
+        cells = CellBoxSet._wrap(first.array_name, first.shape, lo, hi)
+        if merge:
+            cells = cells.merged()
+        return cls(cells=cells, hops=[hop for r in results for hop in r.hops])
+
     def count_cells(self) -> int:
         return self.cells.count_cells()
+
+
+def _partition_shared_refs(
+    table: CompressedLineage,
+    row_idx: np.ndarray,
+    inter_lo: np.ndarray,
+    inter_hi: np.ndarray,
+):
+    """Split matched (query box, row) pairs into interval-exact pairs and
+    pairs that need per-key-point expansion.
+
+    A pair needs expansion when the row has a key attribute referenced by
+    two or more relative value attributes (see
+    :attr:`CompressedLineage.shared_ref_mask`) *and* the key intersection on
+    such an attribute spans more than one index — a single index point is
+    exact either way.  Returns ``(row_idx, inter_lo, inter_hi, split)`` where
+    ``split`` is ``None`` or the ``(row_idx, inter_lo, inter_hi)`` triple of
+    the deferred pairs.
+    """
+    mask = table.shared_ref_mask
+    if mask is None or row_idx.size == 0:
+        return row_idx, inter_lo, inter_hi, None
+    needs = (mask[row_idx] & (inter_hi > inter_lo)).any(axis=1)
+    if not needs.any():
+        return row_idx, inter_lo, inter_hi, None
+    keep = ~needs
+    split = (row_idx[needs], inter_lo[needs], inter_hi[needs])
+    return row_idx[keep], inter_lo[keep], inter_hi[keep], split
+
+
+def _expand_shared_refs(
+    table: CompressedLineage,
+    row_idx: np.ndarray,
+    inter_lo: np.ndarray,
+    inter_hi: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact ``rel_back`` for pairs whose row shares a key reference.
+
+    Every shared key attribute is pinned to one index point at a time (the
+    Cartesian product over the shared attributes' intersection ranges) and
+    the row's value attributes are de-relativized against the pinned key —
+    the per-key-index expansion that keeps diagonal lineage exact.  Such
+    rows are rare, so this is a plain loop over the deferred pairs.
+    """
+    mask = table.shared_ref_mask
+    value_ndim = table.value_ndim
+    los: List[np.ndarray] = []
+    his: List[np.ndarray] = []
+    for p in range(row_idx.size):
+        r = int(row_idx[p])
+        shared = np.flatnonzero(mask[r])
+        rel_cols = np.flatnonzero(table.val_kind[r] == KIND_REL)
+        refs = table.val_ref[r]
+        ranges = [range(int(inter_lo[p, k]), int(inter_hi[p, k]) + 1) for k in shared]
+        for combo in itertools.product(*ranges):
+            key_lo = inter_lo[p].copy()
+            key_hi = inter_hi[p].copy()
+            key_lo[shared] = combo
+            key_hi[shared] = combo
+            lo = table.val_lo[r].copy()
+            hi = table.val_hi[r].copy()
+            lo[rel_cols] += key_lo[refs[rel_cols]]
+            hi[rel_cols] += key_hi[refs[rel_cols]]
+            los.append(lo)
+            his.append(hi)
+    if not los:
+        return np.empty((0, value_ndim), np.int64), np.empty((0, value_ndim), np.int64)
+    return np.stack(los), np.stack(his)
 
 
 def _rel_back(
@@ -506,12 +601,20 @@ def theta_join(
         inter_hi = np.minimum(table.key_hi, query.hi[0])
         matched = (inter_lo <= inter_hi).all(axis=1)
         row_idx = np.flatnonzero(matched)
-        lo, hi = _rel_back(table, row_idx, inter_lo[row_idx], inter_hi[row_idx])
+        row_idx, ilo, ihi, split = _partition_shared_refs(
+            table, row_idx, inter_lo[row_idx], inter_hi[row_idx]
+        )
+        lo, hi = _rel_back(table, row_idx, ilo, ihi)
+        if split is not None:
+            split_lo, split_hi = _expand_shared_refs(table, *split)
+            lo = np.concatenate([lo, split_lo], axis=0)
+            hi = np.concatenate([hi, split_hi], axis=0)
     else:
         key_lo = table.key_lo[None, :, :]
         key_hi = table.key_hi[None, :, :]
         out_lo_parts: List[np.ndarray] = []
         out_hi_parts: List[np.ndarray] = []
+        split_parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         for start in range(0, n_query, block):
             stop = min(start + block, n_query)
             if stats is not None:
@@ -520,11 +623,20 @@ def theta_join(
             inter_hi = np.minimum(key_hi, query.hi[start:stop, None, :])
             matched = (inter_lo <= inter_hi).all(axis=2)
             q_idx, row_idx = np.nonzero(matched)
-            res_lo, res_hi = _rel_back(
+            row_idx, ilo, ihi, split = _partition_shared_refs(
                 table, row_idx, inter_lo[q_idx, row_idx], inter_hi[q_idx, row_idx]
             )
+            res_lo, res_hi = _rel_back(table, row_idx, ilo, ihi)
             out_lo_parts.append(res_lo)
             out_hi_parts.append(res_hi)
+            if split is not None:
+                split_parts.append(split)
+        # shared-reference pairs expand per key point after every exact
+        # block, so the output ordering does not depend on the block size
+        for split in split_parts:
+            split_lo, split_hi = _expand_shared_refs(table, *split)
+            out_lo_parts.append(split_lo)
+            out_hi_parts.append(split_hi)
         if len(out_lo_parts) == 1:
             lo, hi = out_lo_parts[0], out_hi_parts[0]
         else:

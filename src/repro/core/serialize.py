@@ -25,6 +25,8 @@ __all__ = [
     "deserialize_compressed",
     "serialize_compressed_gzip",
     "deserialize_compressed_gzip",
+    "serialize_table",
+    "deserialize_table",
     "write_compressed",
     "read_compressed",
 ]
@@ -111,6 +113,19 @@ def serialize_compressed_gzip(table: CompressedLineage, level: int = 6) -> bytes
 
 def deserialize_compressed_gzip(data: bytes) -> CompressedLineage:
     return deserialize_compressed(zlib.decompress(data))
+
+
+def serialize_table(table: CompressedLineage, gzip: bool = False) -> bytes:
+    """Serialize one table in either format (the segment-record payload)."""
+    return serialize_compressed_gzip(table) if gzip else serialize_compressed(table)
+
+
+def deserialize_table(data: bytes) -> CompressedLineage:
+    """Inverse of :func:`serialize_table`, sniffing the format from the
+    magic bytes (zlib payloads never start with the ProvRC magic)."""
+    if data[:4] == _MAGIC:
+        return deserialize_compressed(data)
+    return deserialize_compressed_gzip(data)
 
 
 def write_compressed(

@@ -10,10 +10,24 @@ This module exposes the public API described in Section III of the paper:
   (one relation per input/output array pair), with optional automatic reuse
   of previously captured lineage (``base_sig`` / ``dim_sig`` / ``gen_sig``).
 * :meth:`DSLog.prov_query` — forward/backward lineage queries along a path
-  of arrays, answered in situ over the compressed tables.
+  of arrays, answered in situ over the compressed tables.  A two-array path
+  with no directly stored entry is resolved automatically through the
+  lineage graph (shortest stored path(s), unioned when several tie).
+* :meth:`DSLog.impact` / :meth:`DSLog.dependencies` /
+  :meth:`DSLog.lineage_summary` — graph analytics over the whole catalog.
 
 Lineage is compressed with ProvRC on ingest and never decompressed for
 query processing.
+
+Storage backends
+----------------
+``backend="memory"`` (the default) keeps the catalog in RAM; with *root*
+set, every backward table is additionally written as one legacy
+``.provrc[.gz]`` file per entry.  ``backend="segment"`` runs on the durable
+segment store (:mod:`repro.storage.store`): tables are appended to segment
+files, all metadata (op names, operation records, reuse-predictor state)
+rides in an atomic manifest, and reopening a directory is O(manifest) —
+tables materialize lazily, through an LRU cache, on first query.
 """
 
 from __future__ import annotations
@@ -27,8 +41,17 @@ from .core.compressed import CompressedLineage
 from .core.query import CellBoxSet, QueryResult, execute_path
 from .core.relation import LineageRelation
 from .core.serialize import write_compressed
+from .graph import LineageGraph
 from .reuse.signatures import OperationSignature, ReuseManager
 from .storage.catalog import ArrayInfo, Catalog, LineageEntry, OperationRecord
+from .storage.store import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_SEGMENT_MAX_BYTES,
+    LineageStore,
+    StoredCatalog,
+    StoredLineageEntry,
+    TableRef,
+)
 
 __all__ = ["DSLog"]
 
@@ -42,14 +65,26 @@ class DSLog:
     Parameters
     ----------
     root:
-        Optional directory; when given, every ingested backward table is
-        also flushed to disk (ProvRC-GZip by default) so file sizes can be
-        inspected the same way the paper measures them.
+        Directory backing the catalog.  Required for the segment backend;
+        optional for the memory backend, where it enables the legacy
+        one-file-per-entry flush of backward tables.
     gzip:
         Whether on-disk tables use the ProvRC-GZip format (the default in
-        the paper's prototype).
+        the paper's prototype).  For an existing segment directory the
+        manifest's recorded format wins.
     reuse_confirmations:
         The ``m`` parameter of the automatic reuse predictor.
+    backend:
+        ``"memory"`` or ``"segment"`` (see the module docstring).
+    cache_bytes:
+        Byte budget of the segment backend's LRU table cache.
+    autosync:
+        When true (default), the segment backend publishes a new manifest
+        generation after every ``add_lineage`` / ``register_operation``
+        call.  Bulk ingest should pass ``False`` and call :meth:`sync` (or
+        :meth:`close`) once at the end.
+    segment_max_bytes:
+        Roll-over threshold for segment files.
     """
 
     def __init__(
@@ -57,19 +92,95 @@ class DSLog:
         root: Optional[Union[str, Path]] = None,
         gzip: bool = True,
         reuse_confirmations: int = 1,
+        backend: str = "memory",
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        autosync: bool = True,
+        segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
     ) -> None:
-        self.catalog = Catalog()
-        self.reuse = ReuseManager(confirmations_required=reuse_confirmations)
+        if backend not in ("memory", "segment"):
+            raise ValueError(f"unknown backend {backend!r}; use 'memory' or 'segment'")
+        if backend == "segment" and root is None:
+            raise ValueError("the segment backend needs a root directory")
+        self.backend = backend
         self.root = Path(root) if root is not None else None
         self.gzip = gzip
+        self.reuse_confirmations = int(reuse_confirmations)
+        self.autosync = autosync
+        self._reuse: Optional[ReuseManager] = None
+        self._pending_reuse_state: Optional[dict] = None
+        self._graph: Optional[LineageGraph] = None
         # path tuple -> (catalog version, per-hop tables); repeated queries
         # over the same path skip catalog entry resolution entirely
         self._path_cache: Dict[Tuple[str, ...], Tuple[int, List[CompressedLineage]]] = {}
         # (array, cells) -> converted CellBoxSet; content-keyed (immutable
         # tuples), so repeated queries skip the cell-to-box conversion
         self._query_box_cache: Dict[Tuple[str, Tuple[Cell, ...]], CellBoxSet] = {}
-        if self.root is not None:
-            self.root.mkdir(parents=True, exist_ok=True)
+
+        if backend == "segment":
+            self.store: Optional[LineageStore] = LineageStore(
+                self.root,
+                gzip=gzip,
+                cache_bytes=cache_bytes,
+                segment_max_bytes=segment_max_bytes,
+            )
+            self.gzip = self.store.gzip
+            self.catalog: Catalog = StoredCatalog(self.store)
+            self._hydrate_from_manifest()
+        else:
+            self.store = None
+            self.catalog = Catalog()
+            self._reuse = ReuseManager(confirmations_required=self.reuse_confirmations)
+            if self.root is not None:
+                self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # lazy state (segment backend)
+    # ------------------------------------------------------------------
+    @property
+    def reuse(self) -> ReuseManager:
+        """The reuse predictor, hydrated from the manifest on first touch
+        (so a cold open stays O(manifest) even for reuse-heavy catalogs)."""
+        if self._reuse is None:
+            manager = ReuseManager(confirmations_required=self.reuse_confirmations)
+            if self._pending_reuse_state:
+                manager.import_state(
+                    self._pending_reuse_state,
+                    lambda ref: self.store.load_table(TableRef.from_json(ref)),
+                )
+            self._reuse = manager
+        return self._reuse
+
+    def _hydrate_from_manifest(self) -> None:
+        """Rebuild catalog metadata from the manifest — arrays, lazy entries,
+        operation records and the (still serialized) reuse state.  No table
+        bytes are read here."""
+        manifest = self.store.manifest
+        for name, shape in manifest.arrays.items():
+            self.catalog.define_array(name, tuple(shape))
+        for row in manifest.entries:
+            self.catalog.install_lazy_entry(
+                StoredLineageEntry(
+                    self.store,
+                    in_name=row["in"],
+                    out_name=row["out"],
+                    backward_ref=TableRef.from_json(row["backward"]),
+                    forward_ref=TableRef.from_json(row["forward"]),
+                    op_name=row.get("op_name"),
+                    reused=bool(row.get("reused", False)),
+                    version=int(row.get("version", 1)),
+                )
+            )
+        for row in manifest.operations:
+            record = OperationRecord(
+                op_name=row["op_name"],
+                in_arrs=tuple(row["in_arrs"]),
+                out_arrs=tuple(row["out_arrs"]),
+                op_args=dict(row.get("op_args", {})),
+                reuse_level=row.get("reuse_level"),
+                entries=[tuple(pair) for pair in row.get("entries", [])],
+            )
+            self.catalog.add_operation(record)
+        self._pending_reuse_state = manifest.reuse
 
     # ------------------------------------------------------------------
     # array + lineage definition
@@ -85,6 +196,7 @@ class DSLog:
         relation: Optional[LineageRelation] = None,
         capture: Optional[CaptureFn] = None,
         op_name: Optional[str] = None,
+        replace: bool = False,
     ) -> LineageEntry:
         """Ingest lineage between two tracked arrays (the ``Lineage`` API call)."""
         in_info = self.catalog.array(in_arr)
@@ -101,8 +213,9 @@ class DSLog:
             )
         else:
             relation = self._renamed(relation, in_arr, out_arr, in_info, out_info)
-        entry = self.catalog.add_relation(relation, op_name=op_name)
+        entry = self.catalog.add_relation(relation, op_name=op_name, replace=replace)
         self._flush(entry)
+        self._maybe_sync()
         return entry
 
     @staticmethod
@@ -142,6 +255,7 @@ class DSLog:
         input_data: Optional[Mapping[str, np.ndarray]] = None,
         op_args: Optional[Mapping[str, Any]] = None,
         reuse: bool = True,
+        replace: bool = False,
     ) -> OperationRecord:
         """Register one executed operation and ingest (or reuse) its lineage.
 
@@ -195,14 +309,18 @@ class DSLog:
                 pair = (in_name, out_name)
                 position = (in_idx, out_idx)
                 if reused_tables is not None and position in reused_tables:
-                    entry = self._store_reused(reused_tables[position], pair, op_name)
+                    entry = self._store_reused(
+                        reused_tables[position], pair, op_name, replace=replace
+                    )
                 else:
                     relation = self._capture_pair(
                         pair, relations, captures, in_arrs, out_arrs
                     )
                     if relation is None:
                         continue
-                    entry = self.catalog.add_relation(relation, op_name=op_name)
+                    entry = self.catalog.add_relation(
+                        relation, op_name=op_name, replace=replace
+                    )
                     self._flush(entry)
                 stored[position] = entry.backward
                 record.entries.append(pair)
@@ -210,9 +328,10 @@ class DSLog:
         if reused_tables is None and stored and reuse:
             self.reuse.observe(signature, stored)
         self.catalog.add_operation(record)
+        self._maybe_sync()
         return record
 
-    def _store_reused(self, source: CompressedLineage, pair, op_name) -> LineageEntry:
+    def _store_reused(self, source: CompressedLineage, pair, op_name, replace=False) -> LineageEntry:
         in_name, out_name = pair
         backward = CompressedLineage(
             key_side="output",
@@ -230,7 +349,9 @@ class DSLog:
             in_axes=source.in_axes,
         )
         forward = self._reorient(backward)
-        entry = self.catalog.add_compressed(backward, forward, op_name=op_name, reused=True)
+        entry = self.catalog.add_compressed(
+            backward, forward, op_name=op_name, reused=True, replace=replace
+        )
         self._flush(entry)
         return entry
 
@@ -250,8 +371,6 @@ class DSLog:
         relation = None
         if relations is not None and pair in relations:
             relation = relations[pair]
-        elif relations is not None and len(in_arrs) == 1 and len(out_arrs) == 1 and relations:
-            relation = next(iter(relations.values()))
         elif captures is not None and pair in captures:
             relation = LineageRelation.from_capture(
                 captures[pair],
@@ -259,6 +378,15 @@ class DSLog:
                 in_shape=self.catalog.array(in_name).shape,
                 out_name=out_name,
                 in_name=in_name,
+            )
+        elif relations and len(in_arrs) == 1 and len(out_arrs) == 1:
+            # A single-pair operation whose relations dict is keyed under
+            # some other pair used to be accepted blindly; that silently
+            # ingested lineage between the wrong arrays.  Reject it.
+            raise ValueError(
+                f"relations are keyed {sorted(relations)!r}, but the "
+                f"operation's only (input, output) pair is {pair!r}; key the "
+                "relation under that pair"
             )
         if relation is None:
             return None
@@ -280,6 +408,11 @@ class DSLog:
         ``path[0]`` is the array the query cells refer to; the result
         contains the linked cells of ``path[-1]``.  Forward and backward
         queries are expressed purely by the order of the path.
+
+        A two-array path with no directly stored entry is planned through
+        the lineage graph: the query runs along the shortest stored path(s)
+        between the two arrays, and when several equally short paths exist
+        (e.g. a diamond DAG) the per-path results are unioned.
         """
         if len(path) < 2:
             raise ValueError("a query path needs at least two arrays")
@@ -291,6 +424,12 @@ class DSLog:
         else:
             for name in path:
                 self.catalog.array(name)  # raises KeyError for unknown arrays
+            if len(path) == 2:
+                try:
+                    self.catalog.entry_between(path[0], path[1])
+                except KeyError:
+                    # no direct entry: let the graph plan the hop list
+                    return self._planned_query(path[0], path[1], query_cells, merge)
             tables = []
             for first, second in zip(path, path[1:]):
                 entry, _ = self.catalog.entry_between(first, second)
@@ -301,6 +440,32 @@ class DSLog:
 
         query = self._as_box_set(path[0], query_cells)
         return execute_path(tables, query, merge=merge)
+
+    def _planned_query(self, src, dst, query_cells, merge: bool) -> QueryResult:
+        paths = self.graph.shortest_paths(src, dst)
+        if not paths:
+            raise KeyError(f"no lineage stored between {src!r} and {dst!r}")
+        results = [self.prov_query(p, query_cells, merge=merge) for p in paths]
+        return QueryResult.union(results, merge=merge)
+
+    @property
+    def graph(self) -> LineageGraph:
+        """The lineage graph of the current catalog (rebuilt on change)."""
+        if self._graph is None or self._graph.version != self.catalog.version:
+            self._graph = LineageGraph(self.catalog)
+        return self._graph
+
+    def impact(self, name: str) -> Dict[str, int]:
+        """Arrays transitively derived from *name*, with hop distances."""
+        return self.graph.impact(name)
+
+    def dependencies(self, name: str) -> Dict[str, int]:
+        """Arrays *name* transitively depends on, with hop distances."""
+        return self.graph.dependencies(name)
+
+    def lineage_summary(self) -> dict:
+        """Aggregate statistics of the whole lineage graph."""
+        return self.graph.lineage_summary()
 
     def _as_box_set(self, array_name: str, query_cells) -> CellBoxSet:
         info = self.catalog.array(array_name)
@@ -340,25 +505,118 @@ class DSLog:
         return self.catalog.storage_bytes(gzip=self.gzip if gzip is None else gzip)
 
     def _flush(self, entry: LineageEntry) -> None:
-        if self.root is None:
-            return
+        if self.backend == "segment" or self.root is None:
+            return  # segment entries are appended by the catalog itself
         filename = f"{entry.in_name}__{entry.out_name}.provrc"
         if self.gzip:
             filename += ".gz"
         write_compressed(entry.backward, self.root / filename, gzip=self.gzip)
 
+    def _maybe_sync(self) -> None:
+        if self.backend == "segment" and self.autosync:
+            self.sync()
+
+    def sync(self) -> Optional[int]:
+        """Publish a new manifest generation (segment backend only).
+
+        Serializes the catalog metadata — arrays, entry rows with their
+        segment refs, operation records, reuse state — into the store's
+        manifest and saves it atomically.  Returns the new generation, or
+        ``None`` for the memory backend.
+        """
+        if self.backend != "segment":
+            return None
+        manifest = self.store.manifest
+        manifest.arrays = {
+            name: list(info.shape) for name, info in self.catalog.arrays.items()
+        }
+        rows = []
+        for entry in self.catalog.entries():
+            pair = (entry.in_name, entry.out_name)
+            backward_ref, forward_ref = self.catalog.entry_refs(pair)
+            rows.append(
+                {
+                    "in": entry.in_name,
+                    "out": entry.out_name,
+                    "op_name": entry.op_name,
+                    "reused": entry.reused,
+                    "version": entry.version,
+                    "backward": backward_ref.to_json(),
+                    "forward": forward_ref.to_json(),
+                }
+            )
+        manifest.entries = rows
+        manifest.operations = [
+            {
+                "op_name": record.op_name,
+                "in_arrs": list(record.in_arrs),
+                "out_arrs": list(record.out_arrs),
+                "op_args": record.op_args,
+                "reuse_level": record.reuse_level,
+                "entries": [list(pair) for pair in record.entries],
+            }
+            for record in self.catalog.operations
+        ]
+        if self._reuse is not None:
+            manifest.reuse = self._reuse.export_state(self._save_reuse_table)
+        else:
+            manifest.reuse = self._pending_reuse_state
+        return self.store.sync()
+
+    def _save_reuse_table(self, table: CompressedLineage) -> dict:
+        ref = self.store.ref_for(table)
+        if ref is None:
+            ref = self.store.append_table(table)
+        return ref.to_json()
+
+    def compact(self) -> dict:
+        """Rewrite live records into fresh segments and drop dead bytes
+        (replaced entry versions, unreferenced crash leftovers).  Returns
+        the store's compaction stats."""
+        if self.backend != "segment":
+            raise RuntimeError("compact() requires the segment backend")
+        self.sync()
+        stats = self.store.compact()
+        self._pending_reuse_state = self.store.manifest.reuse
+        return stats
+
+    def close(self) -> None:
+        """Flush pending state and release file handles (segment backend)."""
+        if self.backend == "segment":
+            self.sync()
+            self.store.close()
+
+    def __enter__(self) -> "DSLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     @classmethod
-    def load(cls, root: Union[str, Path], gzip: bool = True) -> "DSLog":
+    def load(cls, root: Union[str, Path], gzip: bool = True, **kwargs) -> "DSLog":
         """Re-open a DSLog directory written by a previous session.
 
-        Only the long-term backward tables are stored on disk (as in the
-        paper); the forward orientation of each entry is rebuilt once at
-        load time so both query directions are immediately available.
+        A directory with a segment-store manifest reopens on the segment
+        backend: O(manifest), with op names, operation records and reuse
+        state intact, and table bytes left on disk until first query.
+
+        A legacy directory (one ``.provrc[.gz]`` file per entry) is read
+        eagerly: only the long-term backward tables exist on disk, so the
+        forward orientation of each entry is rebuilt at load time and the
+        per-operation metadata is gone — ingest into a
+        ``backend="segment"`` log to keep it.
         """
+        from .storage.manifest import load_manifest
+
+        kwargs.pop("backend", None)  # the on-disk layout decides the backend
+
+        if load_manifest(root) is not None:
+            return cls(root=root, gzip=gzip, backend="segment", **kwargs)
+
         from .core.provrc import compress
         from .core.serialize import read_compressed
 
-        log = cls(root=root, gzip=gzip)
+        log = cls(root=root, gzip=gzip, **kwargs)
         pattern = "*.provrc.gz" if gzip else "*.provrc"
         for path in sorted(Path(root).glob(pattern)):
             backward = read_compressed(path)

@@ -1,0 +1,237 @@
+"""Lineage-graph navigation and query planning (``LineageGraph``).
+
+The catalog stores lineage as individual ``(input array, output array)``
+entries; this module turns that edge set into a navigable graph so callers
+can ask questions about the lineage *structure* without hand-writing hop
+lists — the lineage-tree analytics idiom: resolve the path(s) between two
+arrays automatically, compute the transitive impact or dependency closure
+of an array, and summarize the whole catalog's shape (fan-in/out, roots,
+leaves, depth).
+
+``DSLog.prov_query`` uses :meth:`LineageGraph.shortest_paths` as its query
+planner: a two-array path with no directly stored entry is resolved to the
+shortest stored path(s) — forward along lineage edges if one exists,
+otherwise backward — and when several equally short paths exist (a diamond
+DAG) the per-path results are unioned.
+
+A graph instance is a snapshot: it records the catalog version it was built
+from, and ``DSLog.graph`` rebuilds it whenever the catalog has changed.
+Resolved path lists are memoized on the instance, so repeated automatic
+queries skip the BFS entirely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from .storage.catalog import Catalog
+
+__all__ = ["LineageGraph"]
+
+
+class LineageGraph:
+    """Adjacency index plus path planner over a catalog's lineage entries."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.version = catalog.version
+        self._out: Dict[str, List[str]] = {name: [] for name in catalog.arrays}
+        self._in: Dict[str, List[str]] = {name: [] for name in catalog.arrays}
+        for entry in catalog.entries():
+            self._out.setdefault(entry.in_name, []).append(entry.out_name)
+            self._in.setdefault(entry.out_name, []).append(entry.in_name)
+            self._out.setdefault(entry.out_name, [])
+            self._in.setdefault(entry.in_name, [])
+        # deterministic traversal (and therefore deterministic path order)
+        for adjacency in (self._out, self._in):
+            for neighbors in adjacency.values():
+                neighbors.sort()
+        self._path_memo: Dict[Tuple[str, str], List[List[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def _check(self, name: str) -> None:
+        if name not in self._out:
+            raise KeyError(f"array {name!r} is not defined in the catalog")
+
+    def successors(self, name: str) -> List[str]:
+        """Arrays directly derived from *name* (one lineage hop forward)."""
+        self._check(name)
+        return list(self._out[name])
+
+    def predecessors(self, name: str) -> List[str]:
+        """Arrays *name* was directly derived from (one hop backward)."""
+        self._check(name)
+        return list(self._in[name])
+
+    def fan_out(self, name: str) -> int:
+        self._check(name)
+        return len(self._out[name])
+
+    def fan_in(self, name: str) -> int:
+        self._check(name)
+        return len(self._in[name])
+
+    # ------------------------------------------------------------------
+    # path planning
+    # ------------------------------------------------------------------
+    def shortest_paths(self, src: str, dst: str) -> List[List[str]]:
+        """Every shortest stored path from *src* to *dst*.
+
+        Forward paths (following lineage edges) win over backward paths
+        (against the edges); within a direction all paths of minimal hop
+        count are returned, each as the full array sequence starting at
+        *src*.  Returns ``[]`` when the arrays are not connected.
+        """
+        self._check(src)
+        self._check(dst)
+        memo = self._path_memo.get((src, dst))
+        if memo is not None:
+            return [list(path) for path in memo]
+        paths = self._bfs_all_shortest(src, dst, self._out)
+        if not paths:
+            paths = self._bfs_all_shortest(src, dst, self._in)
+        self._path_memo[(src, dst)] = [list(path) for path in paths]
+        return paths
+
+    def shortest_path(self, src: str, dst: str) -> List[str]:
+        """The first (lexicographically smallest) shortest path, or a
+        ``KeyError`` when no stored path connects the two arrays."""
+        paths = self.shortest_paths(src, dst)
+        if not paths:
+            raise KeyError(f"no lineage path between {src!r} and {dst!r}")
+        return paths[0]
+
+    @staticmethod
+    def _bfs_all_shortest(
+        src: str, dst: str, adjacency: Dict[str, List[str]]
+    ) -> List[List[str]]:
+        if src == dst:
+            return [[src]]
+        dist: Dict[str, int] = {src: 0}
+        parents: Dict[str, List[str]] = {}
+        queue = deque([src])
+        found: Optional[int] = None
+        while queue:
+            node = queue.popleft()
+            depth = dist[node]
+            if found is not None and depth + 1 > found:
+                break
+            for neighbor in adjacency[node]:
+                known = dist.get(neighbor)
+                if known is None:
+                    dist[neighbor] = depth + 1
+                    parents[neighbor] = [node]
+                    if neighbor == dst:
+                        found = depth + 1
+                    else:
+                        queue.append(neighbor)
+                elif known == depth + 1:
+                    parents[neighbor].append(node)
+        if found is None:
+            return []
+        # unwind every parent chain; adjacency is sorted, so the resulting
+        # path list is deterministic (lexicographic by hop sequence)
+        paths: List[List[str]] = []
+
+        def unwind(node: str, suffix: List[str]) -> None:
+            if node == src:
+                paths.append([src] + suffix)
+                return
+            for parent in parents[node]:
+                unwind(parent, [node] + suffix)
+
+        unwind(dst, [])
+        paths.sort()
+        return paths
+
+    # ------------------------------------------------------------------
+    # transitive closures
+    # ------------------------------------------------------------------
+    def impact(self, name: str) -> Dict[str, int]:
+        """Every array transitively derived from *name*, mapped to its hop
+        distance (the downstream closure: what a change here touches)."""
+        return self._closure(name, self._out)
+
+    def dependencies(self, name: str) -> Dict[str, int]:
+        """Every array *name* transitively depends on, mapped to its hop
+        distance (the upstream closure: what produced this array)."""
+        return self._closure(name, self._in)
+
+    def _closure(self, name: str, adjacency: Dict[str, List[str]]) -> Dict[str, int]:
+        self._check(name)
+        dist: Dict[str, int] = {name: 0}
+        queue = deque([name])
+        while queue:
+            node = queue.popleft()
+            for neighbor in adjacency[node]:
+                if neighbor not in dist:
+                    dist[neighbor] = dist[node] + 1
+                    queue.append(neighbor)
+        del dist[name]
+        return dist
+
+    # ------------------------------------------------------------------
+    # summary analytics
+    # ------------------------------------------------------------------
+    def lineage_summary(self) -> dict:
+        """Aggregate shape of the lineage graph (the lineage-fate summary).
+
+        Counts arrays, entries and operations; classifies arrays into
+        roots (sources: produce lineage but have none), leaves (sinks),
+        isolated arrays (tracked but unconnected); reports per-array
+        fan-in/fan-out, the maximum lineage depth (longest path through the
+        DAG; ``None`` when the graph has a cycle), and how many arrays each
+        registered operation touched on average.
+        """
+        roots = sorted(
+            name for name in self._out if not self._in[name] and self._out[name]
+        )
+        leaves = sorted(
+            name for name in self._out if not self._out[name] and self._in[name]
+        )
+        isolated = sorted(
+            name for name in self._out if not self._out[name] and not self._in[name]
+        )
+        operations = self.catalog.operations
+        touched = [len(set(op.in_arrs) | set(op.out_arrs)) for op in operations]
+        return {
+            "arrays": len(self._out),
+            "entries": len(self.catalog),
+            "operations": len(operations),
+            "roots": roots,
+            "leaves": leaves,
+            "isolated": isolated,
+            "fan_in": {name: len(self._in[name]) for name in sorted(self._in)},
+            "fan_out": {name: len(self._out[name]) for name in sorted(self._out)},
+            "max_depth": self._max_depth(),
+            "reused_entries": sum(1 for e in self.catalog.entries() if e.reused),
+            "avg_arrays_per_operation": (
+                sum(touched) / len(touched) if touched else 0.0
+            ),
+        }
+
+    def _max_depth(self) -> Optional[int]:
+        """Longest path length (in hops) through the lineage DAG, or
+        ``None`` when a cycle makes depth undefined."""
+        indegree = {name: len(self._in[name]) for name in self._out}
+        queue = deque(name for name, degree in indegree.items() if degree == 0)
+        depth = {name: 0 for name in queue}
+        seen = 0
+        longest = 0
+        while queue:
+            node = queue.popleft()
+            seen += 1
+            for neighbor in self._out[node]:
+                candidate = depth[node] + 1
+                if candidate > depth.get(neighbor, -1):
+                    depth[neighbor] = candidate
+                    longest = max(longest, candidate)
+                indegree[neighbor] -= 1
+                if indegree[neighbor] == 0:
+                    queue.append(neighbor)
+        if seen != len(self._out):
+            return None  # cycle: some nodes never reached indegree zero
+        return longest

@@ -257,6 +257,88 @@ class ReuseManager:
         return all(tables_equal(left[key], right[key]) for key in left)
 
     # ------------------------------------------------------------------
+    # persistence (the segment store's manifest carries this state)
+    # ------------------------------------------------------------------
+    def export_state(self, save_table) -> dict:
+        """Serialize every signature mapping to a JSON-able dict.
+
+        *save_table* maps a :class:`CompressedLineage` to a JSON-able
+        reference (the segment store appends the table and returns its
+        record address); tables already persisted are referenced, not
+        re-encoded.  Signature keys are nested tuples of strings and ints,
+        which round-trip through JSON lists losslessly.
+        """
+
+        def encode_tables(tables: Mapping) -> list:
+            return [[list(key), save_table(table)] for key, table in tables.items()]
+
+        def encode_candidate(key, candidate: _Candidate) -> dict:
+            return {
+                "key": key,
+                "tables": encode_tables(candidate.tables),
+                "shapes_seen": [list(shape) for shape in sorted(candidate.shapes_seen)],
+                "confirmations": candidate.confirmations,
+                "permanent": candidate.permanent,
+                "blocked": candidate.blocked,
+            }
+
+        return {
+            "confirmations_required": self.confirmations_required,
+            "mispredictions": self.mispredictions,
+            "base": [
+                {"key": key, "tables": encode_tables(tables)}
+                for key, tables in self._base.items()
+            ],
+            "dim": [encode_candidate(k, c) for k, c in self._dim.items()],
+            "gen": [encode_candidate(k, c) for k, c in self._gen.items()],
+        }
+
+    def import_state(self, state: Mapping, load_table) -> None:
+        """Rebuild the signature mappings exported by :meth:`export_state`.
+
+        *load_table* maps a stored reference back to a table.  Generalized
+        tables are re-derived from the concrete tables (``generalize`` is a
+        pure function of the table), so only table references need to
+        survive on disk.
+        """
+        from ..storage.manifest import tuplify
+
+        def decode_tables(items) -> Dict:
+            return {tuplify(key): load_table(ref) for key, ref in items}
+
+        def decode_candidate(data: Mapping, generalized: bool) -> _Candidate:
+            tables = decode_tables(data["tables"])
+            candidate = _Candidate(
+                tables=tables,
+                generalized=(
+                    {key: generalize(table) for key, table in tables.items()}
+                    if generalized
+                    else {}
+                ),
+                shapes_seen={tuplify(shape) for shape in data.get("shapes_seen", [])},
+                confirmations=int(data["confirmations"]),
+                permanent=bool(data["permanent"]),
+                blocked=bool(data["blocked"]),
+            )
+            return candidate
+
+        self.confirmations_required = int(
+            state.get("confirmations_required", self.confirmations_required)
+        )
+        self.mispredictions = int(state.get("mispredictions", 0))
+        self._base = {
+            tuplify(item["key"]): decode_tables(item["tables"]) for item in state.get("base", [])
+        }
+        self._dim = {
+            tuplify(item["key"]): decode_candidate(item, generalized=False)
+            for item in state.get("dim", [])
+        }
+        self._gen = {
+            tuplify(item["key"]): decode_candidate(item, generalized=True)
+            for item in state.get("gen", [])
+        }
+
+    # ------------------------------------------------------------------
     # introspection (used by the Table IX coverage experiment)
     # ------------------------------------------------------------------
     def record_misprediction(self) -> None:

@@ -1,5 +1,35 @@
-"""Storage manager internals: catalog of arrays, lineage entries, operations."""
+"""Storage manager internals: catalog, durable segment store, manifest."""
 
-from .catalog import ArrayInfo, Catalog, LineageEntry, OperationRecord
+from .catalog import (
+    AmbiguousLineageError,
+    ArrayInfo,
+    Catalog,
+    LineageConflictError,
+    LineageEntry,
+    OperationRecord,
+)
+from .store import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_SEGMENT_MAX_BYTES,
+    LineageStore,
+    StoredCatalog,
+    StoredLineageEntry,
+    TableCache,
+    TableRef,
+)
 
-__all__ = ["ArrayInfo", "Catalog", "LineageEntry", "OperationRecord"]
+__all__ = [
+    "ArrayInfo",
+    "Catalog",
+    "LineageEntry",
+    "OperationRecord",
+    "LineageConflictError",
+    "AmbiguousLineageError",
+    "LineageStore",
+    "StoredCatalog",
+    "StoredLineageEntry",
+    "TableCache",
+    "TableRef",
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_SEGMENT_MAX_BYTES",
+]

@@ -17,7 +17,27 @@ from ..core.provrc import compress
 from ..core.relation import LineageRelation
 from ..core.serialize import serialize_compressed, serialize_compressed_gzip
 
-__all__ = ["ArrayInfo", "LineageEntry", "OperationRecord", "Catalog"]
+__all__ = [
+    "ArrayInfo",
+    "LineageEntry",
+    "OperationRecord",
+    "Catalog",
+    "LineageConflictError",
+    "AmbiguousLineageError",
+]
+
+
+class LineageConflictError(ValueError):
+    """Raised when an ingest would silently replace a stored lineage entry.
+
+    Re-ingesting the same ``(input, output)`` pair is almost always a
+    workflow bug (two operations writing the same edge); callers that mean
+    it must say so with ``replace=True``, which versions the entry."""
+
+
+class AmbiguousLineageError(ValueError):
+    """Raised when both orientations of a pair exist and a direction-less
+    lookup (``entry_between``) cannot tell which entry the caller means."""
 
 
 @dataclass(frozen=True)
@@ -49,6 +69,9 @@ class LineageEntry:
     forward: CompressedLineage
     op_name: Optional[str] = None
     reused: bool = False
+    # bumped each time the pair is explicitly re-ingested with replace=True,
+    # so queries and audits can tell a versioned entry from the original
+    version: int = 1
 
     def table_keyed_on(self, array_name: str) -> CompressedLineage:
         """Return the orientation whose key side is *array_name*."""
@@ -116,11 +139,14 @@ class Catalog:
         relation: LineageRelation,
         op_name: Optional[str] = None,
         reused: bool = False,
+        replace: bool = False,
     ) -> LineageEntry:
         """Compress a relation into both orientations and store the entry."""
         backward = compress(relation, key="output")
         forward = compress(relation, key="input")
-        return self.add_compressed(backward, forward, op_name=op_name, reused=reused)
+        return self.add_compressed(
+            backward, forward, op_name=op_name, reused=reused, replace=replace
+        )
 
     def add_compressed(
         self,
@@ -128,18 +154,27 @@ class Catalog:
         forward: CompressedLineage,
         op_name: Optional[str] = None,
         reused: bool = False,
+        replace: bool = False,
     ) -> LineageEntry:
         if backward.key_side != "output" or forward.key_side != "input":
             raise ValueError("backward/forward tables have the wrong orientation")
+        pair = (backward.in_name, backward.out_name)
+        existing = self._entries.get(pair)
+        if existing is not None and not replace:
+            raise LineageConflictError(
+                f"lineage between {pair[0]!r} and {pair[1]!r} already stored "
+                f"(op {existing.op_name!r}); pass replace=True to version it"
+            )
         entry = LineageEntry(
-            in_name=backward.in_name,
-            out_name=backward.out_name,
+            in_name=pair[0],
+            out_name=pair[1],
             backward=backward,
             forward=forward,
             op_name=op_name,
             reused=reused,
+            version=existing.version + 1 if existing is not None else 1,
         )
-        self._entries[(entry.in_name, entry.out_name)] = entry
+        self._entries[pair] = entry
         self.version += 1
         return entry
 
@@ -157,11 +192,22 @@ class Catalog:
 
         Returns ``(entry, direction)`` where direction is ``"forward"`` when
         *first* is the entry's input array and ``"backward"`` otherwise.
+        When both orientations were ingested (a cycle of length two), the
+        lookup is ambiguous — picking one would silently answer the query
+        with the stale orientation — so it raises instead; use
+        :meth:`entry` with the explicit ``(in, out)`` pair.
         """
-        if (first, second) in self._entries:
-            return self._entries[(first, second)], "forward"
-        if (second, first) in self._entries:
-            return self._entries[(second, first)], "backward"
+        forward = self._entries.get((first, second))
+        backward = self._entries.get((second, first))
+        if forward is not None and backward is not None:
+            raise AmbiguousLineageError(
+                f"lineage stored in both directions between {first!r} and "
+                f"{second!r}; resolve with entry(in_name, out_name)"
+            )
+        if forward is not None:
+            return forward, "forward"
+        if backward is not None:
+            return backward, "backward"
         raise KeyError(f"no lineage stored between {first!r} and {second!r}")
 
     # ------------------------------------------------------------------

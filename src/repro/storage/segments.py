@@ -1,0 +1,151 @@
+"""Append-only segment files: the byte-level layer of the lineage store.
+
+A segment is a flat file holding many ProvRC tables as length-prefixed
+records.  The layout is deliberately trivial:
+
+    +--------+---------+----------------+---------+----------------+ ...
+    | "DSEG" | version | u32 length | payload | u32 length | payload | ...
+    +--------+---------+----------------+---------+----------------+ ...
+
+Records are only ever appended; a record becomes *live* when the manifest
+(:mod:`repro.storage.manifest`) references its ``(segment, offset, length)``
+triple and *dead* when no manifest reference remains (after an entry is
+replaced, or mid-ingest bytes survived a crash before the manifest was
+synced).  Readers therefore never need a segment-level index: the manifest
+is the index, and anything it does not point at is garbage to be reclaimed
+by :meth:`repro.storage.store.LineageStore.compact`.
+
+Payloads are the serialized ProvRC tables of :mod:`repro.core.serialize`
+(plain or ProvRC-GZip) — the same bytes the one-file-per-table legacy format
+writes, just packed many-to-a-file.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Iterator, Tuple, Union
+
+__all__ = [
+    "SEGMENT_MAGIC",
+    "SEGMENT_VERSION",
+    "SEGMENT_HEADER_SIZE",
+    "SegmentWriter",
+    "read_record",
+    "iter_records",
+]
+
+SEGMENT_MAGIC = b"DSEG"
+SEGMENT_VERSION = 1
+_HEADER = SEGMENT_MAGIC + struct.pack("<H", SEGMENT_VERSION)
+SEGMENT_HEADER_SIZE = len(_HEADER)
+_PREFIX = struct.Struct("<I")
+
+
+def _check_header(data: bytes, path: Path) -> None:
+    if data[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+        raise ValueError(f"{path} is not a DSLog segment file")
+    (version,) = struct.unpack("<H", data[len(SEGMENT_MAGIC) : SEGMENT_HEADER_SIZE])
+    if version != SEGMENT_VERSION:
+        raise ValueError(f"{path} has unsupported segment version {version}")
+
+
+class SegmentWriter:
+    """Appends length-prefixed records to one segment file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existing = self.path.stat().st_size if self.path.exists() else 0
+        self._fh = open(self.path, "ab")
+        if existing == 0:
+            self._fh.write(_HEADER)
+            self._fh.flush()
+            self._size = SEGMENT_HEADER_SIZE
+        else:
+            self._size = existing
+
+    @property
+    def size(self) -> int:
+        """Current file size in bytes (records are appended at this offset)."""
+        return self._size
+
+    def append(self, payload: bytes) -> Tuple[int, int]:
+        """Append one record; returns ``(offset, payload length)``.
+
+        The offset addresses the record's length prefix, so a reader can
+        verify the prefix against the manifest's recorded length before
+        trusting the payload bytes.
+        """
+        offset = self._size
+        self._fh.write(_PREFIX.pack(len(payload)))
+        self._fh.write(payload)
+        self._fh.flush()
+        self._size = offset + _PREFIX.size + len(payload)
+        return offset, len(payload)
+
+    def sync(self) -> None:
+        """Force appended records to stable storage."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Fsync and close.  The fsync matters on segment rollover: a
+        manifest may be published (and old segments deleted by a
+        compaction) while this file is no longer the active writer, so its
+        records must already be durable when the handle is dropped."""
+        if not self._fh.closed:
+            self.sync()
+            self._fh.close()
+
+    def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_record(path: Union[str, Path], offset: int, length: int) -> bytes:
+    """Read one record's payload, validating the stored length prefix."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        header = fh.read(SEGMENT_HEADER_SIZE)
+        _check_header(header, path)
+        fh.seek(offset)
+        prefix = fh.read(_PREFIX.size)
+        if len(prefix) != _PREFIX.size:
+            raise ValueError(f"{path}: truncated record prefix at offset {offset}")
+        (stored,) = _PREFIX.unpack(prefix)
+        if stored != length:
+            raise ValueError(
+                f"{path}: record at offset {offset} has length {stored}, "
+                f"manifest expected {length}"
+            )
+        payload = fh.read(length)
+        if len(payload) != length:
+            raise ValueError(f"{path}: truncated record payload at offset {offset}")
+        return payload
+
+
+def iter_records(path: Union[str, Path]) -> Iterator[Tuple[int, bytes]]:
+    """Yield every ``(offset, payload)`` in a segment, in append order.
+
+    A trailing partial record (a crash mid-append) ends the iteration
+    silently — those bytes are by definition not referenced by any manifest.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        header = fh.read(SEGMENT_HEADER_SIZE)
+        _check_header(header, path)
+        offset = SEGMENT_HEADER_SIZE
+        while True:
+            prefix = fh.read(_PREFIX.size)
+            if len(prefix) < _PREFIX.size:
+                return
+            (length,) = _PREFIX.unpack(prefix)
+            payload = fh.read(length)
+            if len(payload) < length:
+                return
+            yield offset, payload
+            offset += _PREFIX.size + length

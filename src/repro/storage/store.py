@@ -1,0 +1,437 @@
+"""The durable, segment-based lineage store (``LineageStore``).
+
+This is the storage engine behind ``DSLog(root, backend="segment")``: many
+ProvRC tables packed into append-only segment files
+(:mod:`repro.storage.segments`), indexed by one atomic JSON manifest
+(:mod:`repro.storage.manifest`), read back *lazily* through an LRU table
+cache with a byte budget.
+
+Design points
+-------------
+* **O(manifest) open** — ``StoredCatalog`` hydrates lazy
+  :class:`StoredLineageEntry` objects from manifest rows; no segment bytes
+  are read (and no table is deserialized) until a query touches an entry.
+  ``LineageStore.tables_deserialized`` counts actual decodes so tests and
+  benchmarks can prove it.
+* **Both orientations persisted** — the legacy one-file-per-table format
+  stored only the backward table and rebuilt the forward orientation at
+  load by decompressing and re-compressing every table; segments store both
+  so reopening never touches table bytes at all.  Storage accounting
+  (``storage_bytes``) still counts only the backward orientation, matching
+  the paper's long-term storage metric.
+* **Crash safety** — segment appends happen before the manifest save; the
+  manifest is swapped in atomically.  Unreferenced segment bytes are inert
+  garbage until :meth:`LineageStore.compact` rewrites the live records into
+  fresh segments and deletes the old files.
+* **LRU byte budget** — materialized tables live in
+  :class:`TableCache`; once the configured budget is exceeded the least
+  recently used tables are dropped and will be re-read from their segment
+  on next use, so catalogs larger than memory stay queryable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, NamedTuple, Optional, Tuple, Union
+
+from ..core.compressed import CompressedLineage
+from ..core.serialize import deserialize_table, serialize_table
+from .catalog import Catalog, LineageEntry
+from .manifest import Manifest, load_manifest, save_manifest
+from .segments import SegmentWriter, read_record
+
+__all__ = [
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_SEGMENT_MAX_BYTES",
+    "TableRef",
+    "TableCache",
+    "StoredLineageEntry",
+    "LineageStore",
+    "StoredCatalog",
+]
+
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+DEFAULT_SEGMENT_MAX_BYTES = 16 * 1024 * 1024
+
+
+class TableRef(NamedTuple):
+    """Address of one serialized table inside a segment file."""
+
+    segment: str
+    offset: int
+    length: int
+
+    def to_json(self) -> dict:
+        return {"segment": self.segment, "offset": self.offset, "length": self.length}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TableRef":
+        return cls(str(data["segment"]), int(data["offset"]), int(data["length"]))
+
+
+class TableCache:
+    """LRU cache of materialized tables under an in-memory byte budget."""
+
+    def __init__(self, budget_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        self.budget_bytes = int(budget_bytes)
+        self._items: "OrderedDict[TableRef, CompressedLineage]" = OrderedDict()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def get(self, ref: TableRef) -> Optional[CompressedLineage]:
+        table = self._items.get(ref)
+        if table is None:
+            self.misses += 1
+            return None
+        self._items.move_to_end(ref)
+        self.hits += 1
+        return table
+
+    def put(self, ref: TableRef, table: CompressedLineage) -> None:
+        if ref in self._items:
+            self._items.move_to_end(ref)
+            return
+        self._items[ref] = table
+        self.current_bytes += table.nbytes()
+        # evict least recently used down to the budget, but never the entry
+        # just inserted: a single oversized table would otherwise thrash
+        while self.current_bytes > self.budget_bytes and len(self._items) > 1:
+            _old_ref, old_table = self._items.popitem(last=False)
+            self.current_bytes -= old_table.nbytes()
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._items.clear()
+        self.current_bytes = 0
+
+    def stats(self) -> dict:
+        return {
+            "tables": len(self._items),
+            "bytes": self.current_bytes,
+            "budget_bytes": self.budget_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class StoredLineageEntry:
+    """A catalog entry whose tables live in segments until first touched.
+
+    Duck-typed against :class:`~repro.storage.catalog.LineageEntry`
+    (``in_name`` / ``out_name`` / ``op_name`` / ``reused`` / ``version`` /
+    ``backward`` / ``forward`` / ``table_keyed_on`` / ``storage_bytes``);
+    the two orientation attributes are properties that pull the table
+    through the store's LRU cache on access.
+    """
+
+    __slots__ = ("store", "in_name", "out_name", "op_name", "reused", "version",
+                 "backward_ref", "forward_ref")
+
+    def __init__(
+        self,
+        store: "LineageStore",
+        in_name: str,
+        out_name: str,
+        backward_ref: TableRef,
+        forward_ref: TableRef,
+        op_name: Optional[str] = None,
+        reused: bool = False,
+        version: int = 1,
+    ) -> None:
+        self.store = store
+        self.in_name = in_name
+        self.out_name = out_name
+        self.backward_ref = backward_ref
+        self.forward_ref = forward_ref
+        self.op_name = op_name
+        self.reused = reused
+        self.version = version
+
+    @property
+    def backward(self) -> CompressedLineage:
+        return self.store.load_table(self.backward_ref)
+
+    @property
+    def forward(self) -> CompressedLineage:
+        return self.store.load_table(self.forward_ref)
+
+    def table_keyed_on(self, array_name: str) -> CompressedLineage:
+        if array_name == self.out_name:
+            return self.backward
+        if array_name == self.in_name:
+            return self.forward
+        raise KeyError(f"array {array_name!r} is not part of this lineage entry")
+
+    def storage_bytes(self, gzip: bool = True) -> int:
+        """Long-term (backward) footprint.  When the requested format is the
+        one on disk this is just the manifest-recorded record length — no
+        table bytes are touched."""
+        if gzip == self.store.gzip:
+            return self.backward_ref.length
+        return len(serialize_table(self.backward, gzip=gzip))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StoredLineageEntry({self.in_name}->{self.out_name}, "
+            f"segment={self.backward_ref.segment})"
+        )
+
+
+class LineageStore:
+    """Segment files + manifest + table cache for one catalog directory."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        gzip: bool = True,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        existing = load_manifest(self.root)
+        if existing is not None:
+            self.manifest = existing
+            self.gzip = existing.gzip  # the on-disk format is authoritative
+        else:
+            self.manifest = Manifest(gzip=gzip)
+            self.gzip = gzip
+        self.segment_max_bytes = int(segment_max_bytes)
+        self.cache = TableCache(cache_bytes)
+        self.tables_deserialized = 0
+        self._writer: Optional[SegmentWriter] = None
+        # refs invalidated by compaction resolve through this chain for the
+        # rest of the session (the manifest itself is rewritten in place)
+        self._remap: Dict[TableRef, TableRef] = {}
+        self._drop_orphan_segments()
+
+    # ------------------------------------------------------------------
+    # segment management
+    # ------------------------------------------------------------------
+    def _segment_path(self, name: str) -> Path:
+        return self.root / name
+
+    def _new_segment_name(self) -> str:
+        name = f"segment-{self.manifest.next_segment_id:06d}.seg"
+        self.manifest.next_segment_id += 1
+        return name
+
+    def _drop_orphan_segments(self) -> None:
+        """Remove segment files no manifest generation references (leftovers
+        of a crash between writing fresh segments and swapping the manifest)."""
+        live = set(self.manifest.segments)
+        for path in self.root.glob("segment-*.seg"):
+            if path.name not in live:
+                path.unlink()
+
+    def _active_writer(self) -> SegmentWriter:
+        if self._writer is not None and self._writer.size < self.segment_max_bytes:
+            return self._writer
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        if self.manifest.segments:
+            last = self._segment_path(self.manifest.segments[-1])
+            if last.exists() and last.stat().st_size < self.segment_max_bytes:
+                self._writer = SegmentWriter(last)
+                return self._writer
+        name = self._new_segment_name()
+        self.manifest.segments.append(name)
+        self._writer = SegmentWriter(self._segment_path(name))
+        return self._writer
+
+    # ------------------------------------------------------------------
+    # table I/O
+    # ------------------------------------------------------------------
+    def append_table(self, table: CompressedLineage) -> TableRef:
+        """Serialize one table into the active segment; returns its ref.
+
+        The ref is also remembered on the table object itself
+        (``_segment_ref``) so a later reuse-state export can reference the
+        already-written bytes instead of appending a duplicate record.
+        """
+        writer = self._active_writer()
+        payload = serialize_table(table, gzip=self.gzip)
+        offset, length = writer.append(payload)
+        ref = TableRef(writer.path.name, offset, length)
+        table._segment_ref = ref
+        self.cache.put(ref, table)
+        return ref
+
+    def ref_for(self, table: CompressedLineage) -> Optional[TableRef]:
+        """The segment ref this table was written at (or loaded from), if
+        any, resolved through any compactions since."""
+        ref = getattr(table, "_segment_ref", None)
+        return self.resolve(ref) if ref is not None else None
+
+    def resolve(self, ref: TableRef) -> TableRef:
+        """Follow the compaction remap chain to the ref's current address."""
+        while ref in self._remap:
+            ref = self._remap[ref]
+        return ref
+
+    def load_table(self, ref: TableRef) -> CompressedLineage:
+        ref = self.resolve(ref)
+        table = self.cache.get(ref)
+        if table is not None:
+            return table
+        payload = read_record(self._segment_path(ref.segment), ref.offset, ref.length)
+        table = deserialize_table(payload)
+        self.tables_deserialized += 1
+        table._segment_ref = ref
+        self.cache.put(ref, table)
+        return table
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def sync(self) -> int:
+        """Fsync appended records, then atomically publish the manifest."""
+        if self._writer is not None:
+            self._writer.sync()
+        return save_manifest(self.root, self.manifest)
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    # ------------------------------------------------------------------
+    # accounting + compaction
+    # ------------------------------------------------------------------
+    def segment_bytes(self) -> int:
+        """Bytes currently occupied by all live segment files."""
+        total = 0
+        for name in self.manifest.segments:
+            path = self._segment_path(name)
+            if path.exists():
+                total += path.stat().st_size
+        if self._writer is not None:
+            # the active writer may be ahead of the filesystem metadata
+            total = max(total, self._writer.size)
+        return total
+
+    def live_bytes(self) -> int:
+        """Payload bytes reachable from the manifest (live records only)."""
+        return sum(ref["length"] for ref in self.manifest.iter_table_refs())
+
+    def compact(self) -> dict:
+        """Rewrite every live record into fresh segments, drop the rest.
+
+        The manifest must reflect the state to preserve (callers sync
+        first).  Live payloads are copied byte-for-byte — no table is
+        deserialized — into new segment files; every ref dict inside the
+        manifest is rewritten in place, the manifest is atomically swapped,
+        and only then are the old segment files deleted.  A crash anywhere
+        in between leaves either the old or the new generation fully
+        intact.  Returns a stats dict (bytes before/after, records copied).
+        """
+        bytes_before = self.segment_bytes()
+        old_segments = list(self.manifest.segments)
+        self.close()
+
+        self.manifest.segments = []
+        copied = 0
+        mapping: Dict[TableRef, TableRef] = {}
+        for ref_dict in self.manifest.iter_table_refs():
+            old_ref = self.resolve(TableRef.from_json(ref_dict))
+            new_ref = mapping.get(old_ref)
+            if new_ref is None:
+                payload = read_record(
+                    self._segment_path(old_ref.segment), old_ref.offset, old_ref.length
+                )
+                writer = self._active_writer()
+                offset, length = writer.append(payload)
+                new_ref = TableRef(writer.path.name, offset, length)
+                mapping[old_ref] = new_ref
+                copied += 1
+            ref_dict.update(new_ref.to_json())
+        self.sync()
+
+        for name in old_segments:
+            path = self._segment_path(name)
+            if path.exists():
+                path.unlink()
+        self._remap.update(mapping)
+        self.cache.clear()
+        return {
+            "records_copied": copied,
+            "segments_before": len(old_segments),
+            "segments_after": len(self.manifest.segments),
+            "bytes_before": bytes_before,
+            "bytes_after": self.segment_bytes(),
+            "reclaimed_bytes": bytes_before - self.segment_bytes(),
+        }
+
+
+class StoredCatalog(Catalog):
+    """A :class:`Catalog` whose entries are durably backed by a store.
+
+    Freshly ingested entries are appended to the segment files immediately
+    (both orientations); entries hydrated from a manifest are lazy
+    :class:`StoredLineageEntry` objects that read through the store's LRU
+    cache on first query.
+    """
+
+    def __init__(self, store: LineageStore) -> None:
+        super().__init__()
+        self.store = store
+        self._entry_refs: Dict[Tuple[str, str], Tuple[TableRef, TableRef]] = {}
+
+    def add_compressed(
+        self,
+        backward: CompressedLineage,
+        forward: CompressedLineage,
+        op_name: Optional[str] = None,
+        reused: bool = False,
+        replace: bool = False,
+    ) -> LineageEntry:
+        entry = super().add_compressed(
+            backward, forward, op_name=op_name, reused=reused, replace=replace
+        )
+        pair = (entry.in_name, entry.out_name)
+        backward_ref = self.store.append_table(entry.backward)
+        forward_ref = self.store.append_table(entry.forward)
+        self._entry_refs[pair] = (backward_ref, forward_ref)
+        # the catalog keeps only the lazy view: the materialized tables stay
+        # hot in the LRU cache but remain *evictable*, so a bulk-ingest
+        # session's memory stays bounded by cache_bytes like any other
+        self._entries[pair] = StoredLineageEntry(
+            self.store,
+            in_name=entry.in_name,
+            out_name=entry.out_name,
+            backward_ref=backward_ref,
+            forward_ref=forward_ref,
+            op_name=entry.op_name,
+            reused=entry.reused,
+            version=entry.version,
+        )
+        return entry
+
+    def install_lazy_entry(self, entry: StoredLineageEntry) -> None:
+        """Register a manifest-hydrated entry without touching its tables."""
+        pair = (entry.in_name, entry.out_name)
+        self._entries[pair] = entry
+        self._entry_refs[pair] = (entry.backward_ref, entry.forward_ref)
+        self.version += 1
+
+    def entry_refs(self, pair: Tuple[str, str]) -> Tuple[TableRef, TableRef]:
+        backward_ref, forward_ref = self._entry_refs[pair]
+        return self.store.resolve(backward_ref), self.store.resolve(forward_ref)
+
+    def materialize_all(self) -> int:
+        """Force-load every entry's tables (the eager-open code path);
+        returns the number of tables materialized or found cached."""
+        count = 0
+        for entry in self.entries():
+            entry.backward
+            entry.forward
+            count += 2
+        return count

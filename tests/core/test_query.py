@@ -137,6 +137,67 @@ class TestThetaJoin:
         assert len(merged) <= len(unmerged)
 
 
+def diagonal_relation(n, in_name="A", out_name="B"):
+    """B(i) <- A(i, i): the backward table compresses to one row whose two
+    value attributes both reference the same key attribute."""
+    pairs = [((i,), (i, i)) for i in range(n)]
+    return LineageRelation.from_pairs(pairs, (n,), (n, n), in_name=in_name, out_name=out_name)
+
+
+class TestSharedRefExpansion:
+    """Regression: diagonal lineage queried with a key *range* must stay a
+    diagonal.  Interval rel_back on two value attributes that reference the
+    same key attribute used to produce the full Cartesian box."""
+
+    def test_diagonal_backward_range_query_exact(self):
+        relation = diagonal_relation(6)
+        table = compress(relation, key="output")
+        assert table.shared_ref_mask is not None
+        query = CellBoxSet.from_boxes("B", (6,), [[(1, 4)]])
+        cells = sorted(query.to_cells())
+        assert theta_join(query, table).to_cells() == relation.backward(cells)
+        assert theta_join(query, table).to_cells() == {(i, i) for i in range(1, 5)}
+
+    def test_diagonal_forward_unaffected(self):
+        # forward table: diagonal (i, i) keys never form runs, each row's
+        # single relative value stays on the exact vector path
+        relation = diagonal_relation(5)
+        table = compress(relation, key="input")
+        query = CellBoxSet.from_boxes("A", (5, 5), [[(0, 4), (0, 4)]])
+        cells = list(query.to_cells())
+        assert theta_join(query, table).to_cells() == relation.forward(cells)
+
+    def test_point_queries_unaffected(self):
+        relation = diagonal_relation(6)
+        table = compress(relation, key="output")
+        for i in range(6):
+            query = CellBoxSet.from_cells("B", (6,), [(i,)])
+            assert theta_join(query, table).to_cells() == {(i, i)}
+
+    def test_multi_hop_chain_through_diagonal(self):
+        # the falsifying shape of the original bug: an aggregation hop
+        # widens the query into a key range before it meets the diagonal
+        diag = diagonal_relation(6, in_name="A", out_name="B")
+        collapse = LineageRelation.from_pairs(
+            [((0,), (i,)) for i in range(6)], (1,), (6,), in_name="B", out_name="C"
+        )
+        tables = [compress(collapse, key="output"), compress(diag, key="output")]
+        query = CellBoxSet.from_cells("C", (1,), [(0,)])
+        result = execute_path(tables, query)
+        expected = query_path_reference([collapse, diag], ["backward", "backward"], [(0,)])
+        assert result.to_cells() == expected
+        assert result.to_cells() == {(i, i) for i in range(6)}
+
+    def test_merge_flag_agrees(self):
+        relation = diagonal_relation(7)
+        table = compress(relation, key="output")
+        query = CellBoxSet.from_boxes("B", (7,), [[(0, 6)]])
+        assert (
+            theta_join(query, table, merge=True).to_cells()
+            == theta_join(query, table, merge=False).to_cells()
+        )
+
+
 class TestExecutePath:
     def make_chain(self):
         """A -> B (element-wise) -> C (sum over axis 1)."""

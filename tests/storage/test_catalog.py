@@ -5,7 +5,13 @@ import pytest
 
 from repro.core.provrc import compress
 from repro.core.relation import LineageRelation
-from repro.storage.catalog import ArrayInfo, Catalog, OperationRecord
+from repro.storage.catalog import (
+    AmbiguousLineageError,
+    ArrayInfo,
+    Catalog,
+    LineageConflictError,
+    OperationRecord,
+)
 
 
 def relation(in_name="A", out_name="B", n=8):
@@ -84,6 +90,46 @@ class TestLineageEntries:
         catalog.add_relation(relation("B", "C"))
         assert len(catalog) == 2
         assert len(catalog.entries()) == 2
+
+
+class TestOverwriteSemantics:
+    def test_silent_overwrite_rejected(self):
+        catalog = Catalog()
+        catalog.add_relation(relation())
+        with pytest.raises(LineageConflictError):
+            catalog.add_relation(relation())
+
+    def test_explicit_replace_versions_the_entry(self):
+        catalog = Catalog()
+        first = catalog.add_relation(relation(), op_name="first")
+        assert first.version == 1
+        second = catalog.add_relation(relation(), op_name="second", replace=True)
+        assert second.version == 2
+        assert catalog.entry("A", "B").op_name == "second"
+        assert len(catalog) == 1
+
+    def test_replace_bumps_catalog_version_for_cache_invalidation(self):
+        catalog = Catalog()
+        catalog.add_relation(relation())
+        before = catalog.version
+        catalog.add_relation(relation(), replace=True)
+        assert catalog.version > before
+
+    def test_entry_between_ambiguous_orientations(self):
+        catalog = Catalog()
+        catalog.add_relation(relation("A", "B"))
+        catalog.add_relation(relation("B", "A"))
+        with pytest.raises(AmbiguousLineageError):
+            catalog.entry_between("A", "B")
+        # the explicit lookups stay unambiguous
+        assert catalog.entry("A", "B").in_name == "A"
+        assert catalog.entry("B", "A").in_name == "B"
+
+    def test_conflict_error_is_a_value_error(self):
+        catalog = Catalog()
+        catalog.add_relation(relation())
+        with pytest.raises(ValueError):
+            catalog.add_relation(relation())
 
 
 class TestOperations:

@@ -129,6 +129,130 @@ class TestQueries:
             log.prov_query(["A", "D"], [(0, 0)])
 
 
+class TestQueryCaches:
+    """Invalidation behavior of DSLog's path cache and query-box cache."""
+
+    def test_path_cache_hit_on_repeat_query(self):
+        log = DSLog()
+        build_pipeline(log)
+        log.prov_query(["A", "B", "C"], [(0, 0)])
+        key = ("A", "B", "C")
+        version, tables = log._path_cache[key]
+        assert version == log.catalog.version
+        log.prov_query(["A", "B", "C"], [(1, 1)])
+        assert log._path_cache[key][1] is tables  # same resolved tables
+
+    def test_path_cache_invalidated_by_version_bump(self):
+        log = DSLog()
+        build_pipeline(log)
+        assert log.prov_query(["A", "B"], [(0, 0)]).to_cells() == {(0, 0)}
+        stale_version = log._path_cache[("A", "B")][0]
+        # replace the A->B lineage with a row-shifted variant:
+        # output (r, c) now derives from input ((r + 1) % 6, c)
+        shifted = [((r, c), ((r + 1) % 6, c)) for r in range(6) for c in range(4)]
+        relation = LineageRelation.from_pairs(shifted, (6, 4), (6, 4), in_name="A", out_name="B")
+        log.add_lineage("A", "B", relation=relation, replace=True)
+        assert log.catalog.version > stale_version
+        # the query must see the new entry, not the cached tables
+        assert log.prov_query(["A", "B"], [(0, 0)]).to_cells() == {(5, 0)}
+        assert log._path_cache[("A", "B")][0] == log.catalog.version
+
+    def test_path_cache_wholesale_clear_at_capacity(self):
+        log = DSLog()
+        build_pipeline(log)
+        version = log.catalog.version
+        for i in range(128):
+            log._path_cache[("X", f"Y{i}")] = (version, [])
+        assert len(log._path_cache) == 128
+        log.prov_query(["A", "B"], [(0, 0)])
+        # the 128-entry cap triggers a wholesale clear before inserting
+        assert set(log._path_cache) == {("A", "B")}
+
+    def test_query_box_cache_reuses_conversion(self):
+        log = DSLog()
+        build_pipeline(log)
+        cells = [(0, 0), (3, 2)]
+        log.prov_query(["A", "B"], cells)
+        cached = log._query_box_cache[("A", tuple(cells))]
+        log.prov_query(["A", "B"], cells)
+        assert log._query_box_cache[("A", tuple(cells))] is cached
+
+    def test_query_box_cache_wholesale_clear_at_capacity(self):
+        log = DSLog()
+        build_pipeline(log)
+        for i in range(128):
+            log._query_box_cache[("X", ((i,),))] = None
+        log.prov_query(["A", "B"], [(2, 2)])
+        assert set(log._query_box_cache) == {("A", ((2, 2),))}
+
+    def test_slice_queries_bypass_box_cache(self):
+        log = DSLog()
+        build_pipeline(log)
+        result = log.prov_query(["A", "B", "C"], [slice(0, 2), slice(None)])
+        assert result.to_cells() == {(0,), (1,)}
+        assert len(log._query_box_cache) == 0
+
+    def test_unhashable_cells_bypass_box_cache(self):
+        log = DSLog()
+        build_pipeline(log)
+        result = log.prov_query(["A", "B", "C"], [[0, 0], [1, 1]])
+        assert result.to_cells() == {(0,), (1,)}
+        assert len(log._query_box_cache) == 0
+
+
+class TestCapturePairValidation:
+    def test_single_pair_mis_keyed_relations_rejected(self):
+        log = DSLog()
+        log.define_array("A", (4,))
+        log.define_array("B", (4,))
+        with pytest.raises(ValueError, match="only \\(input, output\\) pair"):
+            log.register_operation(
+                "negative",
+                in_arrs=["A"],
+                out_arrs=["B"],
+                relations={("X", "Y"): elementwise((4,), "A", "B")},
+            )
+
+    def test_correctly_keyed_single_pair_accepted(self):
+        log = DSLog()
+        log.define_array("A", (4,))
+        log.define_array("B", (4,))
+        record = log.register_operation(
+            "negative",
+            in_arrs=["A"],
+            out_arrs=["B"],
+            relations={("A", "B"): elementwise((4,), "A", "B")},
+        )
+        assert record.entries == [("A", "B")]
+
+    def test_captures_win_over_mis_keyed_relations(self):
+        log = DSLog()
+        log.define_array("A", (3,))
+        log.define_array("B", (3,))
+        record = log.register_operation(
+            "identity",
+            in_arrs=["A"],
+            out_arrs=["B"],
+            relations={("X", "Y"): elementwise((3,), "A", "B")},
+            captures={("A", "B"): lambda out: [out]},
+        )
+        assert record.entries == [("A", "B")]
+        assert log.prov_query(["B", "A"], [(1,)]).to_cells() == {(1,)}
+
+    def test_multi_pair_operations_skip_missing_pairs(self):
+        log = DSLog()
+        for name in ("A", "B", "C"):
+            log.define_array(name, (4,))
+        record = log.register_operation(
+            "stack",
+            in_arrs=["A", "B"],
+            out_arrs=["C"],
+            relations={("A", "C"): elementwise((4,), "A", "C")},
+        )
+        # the (B, C) pair has no lineage and is skipped, not guessed
+        assert record.entries == [("A", "C")]
+
+
 class TestRegisterOperationAndReuse:
     def test_register_operation_with_relation(self):
         log = DSLog()
