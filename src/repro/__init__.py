@@ -12,6 +12,9 @@ Public entry points
   in-situ query processor.
 * :mod:`repro.capture` — prototype capture methods (cell-level numpy
   tracking, explainable-AI capture, relational operators).
+* :class:`repro.LineageService` — the concurrent ingest service: sharded
+  multi-writer storage, async compression off the caller's path, group
+  commit and snapshot-isolated readers.
 * :mod:`repro.baselines` — the storage/query baselines of the evaluation.
 * :mod:`repro.workloads` — workload and dataset generators.
 * :mod:`repro.experiments` — one harness per paper table/figure.
@@ -23,15 +26,19 @@ from .core.query import CellBoxSet, QueryResult
 from .core.relation import LineageRelation
 from .dslog import DSLog
 from .graph import LineageGraph
+from .service import IngestTicket, LineageService, SnapshotDSLog
 from .storage.store import LineageStore
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "DSLog",
     "LineageRelation",
     "LineageGraph",
     "LineageStore",
+    "LineageService",
+    "IngestTicket",
+    "SnapshotDSLog",
     "CompressedLineage",
     "CellBoxSet",
     "QueryResult",

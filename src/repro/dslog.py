@@ -28,10 +28,18 @@ segment store (:mod:`repro.storage.store`): tables are appended to segment
 files, all metadata (op names, operation records, reuse-predictor state)
 rides in an atomic manifest, and reopening a directory is O(manifest) —
 tables materialize lazily, through an LRU cache, on first query.
+``backend="sharded"`` partitions the same durable format over N shard
+directories (:mod:`repro.service.shards`) keyed by a stable hash of each
+entry's ``(input, output)`` pair: per-shard segment files, manifests,
+locks, cache budgets and compaction, which is what the concurrent lineage
+service (:class:`repro.service.LineageService`) ingests into from many
+writer threads at once.  :meth:`DSLog.snapshot` hands out a read-only,
+snapshot-isolated view pinned at the current catalog state.
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -75,16 +83,22 @@ class DSLog:
     reuse_confirmations:
         The ``m`` parameter of the automatic reuse predictor.
     backend:
-        ``"memory"`` or ``"segment"`` (see the module docstring).
+        ``"memory"``, ``"segment"`` or ``"sharded"`` (see the module
+        docstring).
     cache_bytes:
-        Byte budget of the segment backend's LRU table cache.
+        Byte budget of the segment backend's LRU table cache (split evenly
+        across shards for the sharded backend).
     autosync:
-        When true (default), the segment backend publishes a new manifest
-        generation after every ``add_lineage`` / ``register_operation``
-        call.  Bulk ingest should pass ``False`` and call :meth:`sync` (or
-        :meth:`close`) once at the end.
+        When true (default), the segment and sharded backends publish a new
+        manifest generation after every ``add_lineage`` /
+        ``register_operation`` call.  Bulk ingest should pass ``False`` and
+        call :meth:`sync` (or :meth:`close`) once at the end; the
+        concurrent service always runs with ``False`` and group-commits.
     segment_max_bytes:
         Roll-over threshold for segment files.
+    num_shards:
+        Shard count of the sharded backend (ignored otherwise; an existing
+        directory's ``SHARDS.json`` wins).
     """
 
     def __init__(
@@ -96,19 +110,25 @@ class DSLog:
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         autosync: bool = True,
         segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+        num_shards: Optional[int] = None,
     ) -> None:
-        if backend not in ("memory", "segment"):
-            raise ValueError(f"unknown backend {backend!r}; use 'memory' or 'segment'")
-        if backend == "segment" and root is None:
-            raise ValueError("the segment backend needs a root directory")
+        if backend not in ("memory", "segment", "sharded"):
+            raise ValueError(
+                f"unknown backend {backend!r}; use 'memory', 'segment' or 'sharded'"
+            )
+        if backend in ("segment", "sharded") and root is None:
+            raise ValueError(f"the {backend} backend needs a root directory")
         self.backend = backend
         self.root = Path(root) if root is not None else None
         self.gzip = gzip
         self.reuse_confirmations = int(reuse_confirmations)
         self.autosync = autosync
         self._reuse: Optional[ReuseManager] = None
+        self._reuse_init_lock = threading.Lock()
+        self._reuse_synced_count: Optional[int] = None
         self._pending_reuse_state: Optional[dict] = None
         self._graph: Optional[LineageGraph] = None
+        self._graph_lock = threading.Lock()
         # path tuple -> (catalog version, per-hop tables); repeated queries
         # over the same path skip catalog entry resolution entirely
         self._path_cache: Dict[Tuple[str, ...], Tuple[int, List[CompressedLineage]]] = {}
@@ -126,6 +146,19 @@ class DSLog:
             self.gzip = self.store.gzip
             self.catalog: Catalog = StoredCatalog(self.store)
             self._hydrate_from_manifest()
+        elif backend == "sharded":
+            from .service.shards import DEFAULT_NUM_SHARDS, ShardedCatalog, ShardedLineageStore
+
+            self.store = ShardedLineageStore(
+                self.root,
+                num_shards=num_shards if num_shards is not None else DEFAULT_NUM_SHARDS,
+                gzip=gzip,
+                cache_bytes=cache_bytes,
+                segment_max_bytes=segment_max_bytes,
+            )
+            self.gzip = self.store.gzip
+            self.catalog = ShardedCatalog(self.store)
+            self._hydrate_from_shards()
         else:
             self.store = None
             self.catalog = Catalog()
@@ -139,15 +172,20 @@ class DSLog:
     @property
     def reuse(self) -> ReuseManager:
         """The reuse predictor, hydrated from the manifest on first touch
-        (so a cold open stays O(manifest) even for reuse-heavy catalogs)."""
+        (so a cold open stays O(manifest) even for reuse-heavy catalogs).
+        First-touch construction is guarded by a lock: concurrent service
+        workers racing the hydration would otherwise each build a manager
+        and silently discard one's observations."""
         if self._reuse is None:
-            manager = ReuseManager(confirmations_required=self.reuse_confirmations)
-            if self._pending_reuse_state:
-                manager.import_state(
-                    self._pending_reuse_state,
-                    lambda ref: self.store.load_table(TableRef.from_json(ref)),
-                )
-            self._reuse = manager
+            with self._reuse_init_lock:
+                if self._reuse is None:
+                    manager = ReuseManager(confirmations_required=self.reuse_confirmations)
+                    if self._pending_reuse_state:
+                        manager.import_state(
+                            self._pending_reuse_state,
+                            lambda ref: self.store.load_table(TableRef.from_json(ref)),
+                        )
+                    self._reuse = manager
         return self._reuse
 
     def _hydrate_from_manifest(self) -> None:
@@ -181,6 +219,48 @@ class DSLog:
             )
             self.catalog.add_operation(record)
         self._pending_reuse_state = manifest.reuse
+
+    def _hydrate_from_shards(self) -> None:
+        """Rebuild catalog metadata from every shard's manifest: arrays,
+        operation records and reuse state from the meta shard, lazy entries
+        from each home shard.  No table bytes are read.
+
+        Operation records are replayed through the *base* catalog methods
+        (not the sharded overrides) because the meta manifest already holds
+        their rows — re-appending them would duplicate every record on the
+        next publish.
+        """
+        meta = self.store.meta.manifest
+        for name, shape in meta.arrays.items():
+            Catalog.define_array(self.catalog, name, tuple(shape))
+        for shard_idx, shard in enumerate(self.store.shards):
+            for row in shard.manifest.entries:
+                self.catalog.install_lazy_entry(
+                    StoredLineageEntry(
+                        shard,
+                        in_name=row["in"],
+                        out_name=row["out"],
+                        backward_ref=TableRef.from_json(row["backward"]),
+                        forward_ref=TableRef.from_json(row["forward"]),
+                        op_name=row.get("op_name"),
+                        reused=bool(row.get("reused", False)),
+                        version=int(row.get("version", 1)),
+                    ),
+                    row,
+                )
+        for row in meta.operations:
+            Catalog.add_operation(
+                self.catalog,
+                OperationRecord(
+                    op_name=row["op_name"],
+                    in_arrs=tuple(row["in_arrs"]),
+                    out_arrs=tuple(row["out_arrs"]),
+                    op_args=dict(row.get("op_args", {})),
+                    reuse_level=row.get("reuse_level"),
+                    entries=[tuple(pair) for pair in row.get("entries", [])],
+                ),
+            )
+        self._pending_reuse_state = meta.reuse
 
     # ------------------------------------------------------------------
     # array + lineage definition
@@ -418,8 +498,13 @@ class DSLog:
             raise ValueError("a query path needs at least two arrays")
 
         key = tuple(path)
+        # read the version BEFORE resolving entries: if a concurrent writer
+        # lands mid-resolution, the tables are cached under the older
+        # version and simply rebuilt on the next query — never served as
+        # fresher than they are
+        version = self.catalog.version
         cached = self._path_cache.get(key)
-        if cached is not None and cached[0] == self.catalog.version:
+        if cached is not None and cached[0] == version:
             tables = cached[1]
         else:
             for name in path:
@@ -436,7 +521,7 @@ class DSLog:
                 tables.append(entry.table_keyed_on(first))
             if len(self._path_cache) >= 128:
                 self._path_cache.clear()
-            self._path_cache[key] = (self.catalog.version, tables)
+            self._path_cache[key] = (version, tables)
 
         query = self._as_box_set(path[0], query_cells)
         return execute_path(tables, query, merge=merge)
@@ -450,10 +535,20 @@ class DSLog:
 
     @property
     def graph(self) -> LineageGraph:
-        """The lineage graph of the current catalog (rebuilt on change)."""
-        if self._graph is None or self._graph.version != self.catalog.version:
-            self._graph = LineageGraph(self.catalog)
-        return self._graph
+        """The lineage graph of the current catalog.
+
+        Built once, then maintained *incrementally*: each access folds any
+        entries added since the last one into the existing adjacency index
+        (:meth:`LineageGraph.refresh`), keyed on the catalog's generation
+        counter — an unchanged catalog costs two comparisons, a changed one
+        costs O(new entries), never a full rebuild.
+        """
+        with self._graph_lock:
+            if self._graph is None:
+                self._graph = LineageGraph(self.catalog)
+            else:
+                self._graph.refresh()
+            return self._graph
 
     def impact(self, name: str) -> Dict[str, int]:
         """Arrays transitively derived from *name*, with hop distances."""
@@ -505,25 +600,30 @@ class DSLog:
         return self.catalog.storage_bytes(gzip=self.gzip if gzip is None else gzip)
 
     def _flush(self, entry: LineageEntry) -> None:
-        if self.backend == "segment" or self.root is None:
-            return  # segment entries are appended by the catalog itself
+        if self.backend != "memory" or self.root is None:
+            return  # segment/shard entries are appended by the catalog itself
         filename = f"{entry.in_name}__{entry.out_name}.provrc"
         if self.gzip:
             filename += ".gz"
         write_compressed(entry.backward, self.root / filename, gzip=self.gzip)
 
     def _maybe_sync(self) -> None:
-        if self.backend == "segment" and self.autosync:
+        if self.backend in ("segment", "sharded") and self.autosync:
             self.sync()
 
     def sync(self) -> Optional[int]:
-        """Publish a new manifest generation (segment backend only).
+        """Publish a new manifest generation (durable backends only).
 
-        Serializes the catalog metadata — arrays, entry rows with their
-        segment refs, operation records, reuse state — into the store's
-        manifest and saves it atomically.  Returns the new generation, or
-        ``None`` for the memory backend.
+        Segment backend: serializes the catalog metadata — arrays, entry
+        rows with their segment refs, operation records, reuse state — into
+        the store's manifest and saves it atomically; returns the new
+        generation.  Sharded backend: exports the reuse state if it changed
+        and publishes every *dirty* shard's manifest (rows are maintained
+        incrementally at ingest, so nothing is rebuilt); returns the summed
+        generation vector.  Memory backend: ``None``.
         """
+        if self.backend == "sharded":
+            return self._sync_sharded()
         if self.backend != "segment":
             return None
         manifest = self.store.manifest
@@ -557,11 +657,46 @@ class DSLog:
             }
             for record in self.catalog.operations
         ]
-        if self._reuse is not None:
-            manifest.reuse = self._reuse.export_state(self._save_reuse_table)
-        else:
-            manifest.reuse = self._pending_reuse_state
+        self._export_reuse_into(manifest)
         return self.store.sync()
+
+    def _sync_sharded(self) -> int:
+        """Group-commit step of the sharded backend: refresh the meta
+        shard's reuse state when it changed, then publish each dirty
+        shard's manifest.  Returns the sum of the generation vector (a
+        monotone progress counter).
+
+        Safe to call from several threads (the committer and an explicit
+        ``compact()``/``flush()`` caller): the store's maintenance lock
+        serializes whole publishes against each other and against
+        compaction, the manifest assignment happens under ``meta_lock``,
+        and per-shard publishes under each shard's append lock.
+        """
+        with self.store.maintenance_lock:
+            if self._reuse is not None and self._reuse_synced_count != self._reuse.mutation_count:
+                count = self._reuse.mutation_count
+                state = self._reuse.export_state(self._save_reuse_table)
+                with self.store.meta_lock:
+                    self.store.meta.manifest.reuse = state
+                    self.store.mark_dirty(0)
+                self._reuse_synced_count = count
+            self.store.sync_dirty()
+            return sum(self.store.generation_vector())
+
+    def _export_reuse_into(self, manifest) -> bool:
+        """Write the reuse-predictor state into *manifest* (segment
+        backend), skipping the export entirely when nothing changed since
+        the last sync (the export walks every stored signature table, so
+        autosync-per-op catalogs would otherwise pay it on every publish).
+        Returns whether the manifest's reuse field was rewritten."""
+        if self._reuse is None:
+            manifest.reuse = self._pending_reuse_state
+            return False
+        if self._reuse_synced_count == self._reuse.mutation_count:
+            return False
+        manifest.reuse = self._reuse.export_state(self._save_reuse_table)
+        self._reuse_synced_count = self._reuse.mutation_count
+        return True
 
     def _save_reuse_table(self, table: CompressedLineage) -> dict:
         ref = self.store.ref_for(table)
@@ -569,20 +704,41 @@ class DSLog:
             ref = self.store.append_table(table)
         return ref.to_json()
 
-    def compact(self) -> dict:
+    def compact(self, shard: Optional[int] = None) -> dict:
         """Rewrite live records into fresh segments and drop dead bytes
         (replaced entry versions, unreferenced crash leftovers).  Returns
-        the store's compaction stats."""
+        the store's compaction stats; for the sharded backend, a
+        ``{shard index: stats}`` dict (pass *shard* to compact one shard
+        while the others keep serving)."""
+        if self.backend == "sharded":
+            self.sync()
+            stats = self.store.compact(shard=shard)
+            self._pending_reuse_state = self.store.meta.manifest.reuse
+            return stats
         if self.backend != "segment":
-            raise RuntimeError("compact() requires the segment backend")
+            raise RuntimeError("compact() requires the segment or sharded backend")
         self.sync()
         stats = self.store.compact()
         self._pending_reuse_state = self.store.manifest.reuse
         return stats
 
+    def snapshot(self) -> "DSLog":
+        """A read-only, snapshot-isolated view of the catalog as of now.
+
+        The view holds a consistent copy of the catalog metadata (arrays,
+        entries, operation records) pinned at the current per-shard
+        generation vector; ingest and compaction on this log never change
+        what the view's queries see.  Close the view (or use it as a
+        context manager) to release its pins so compaction can reclaim
+        retired segment files.
+        """
+        from .service.snapshot import take_snapshot
+
+        return take_snapshot(self)
+
     def close(self) -> None:
-        """Flush pending state and release file handles (segment backend)."""
-        if self.backend == "segment":
+        """Flush pending state and release file handles (durable backends)."""
+        if self.backend in ("segment", "sharded"):
             self.sync()
             self.store.close()
 
@@ -596,9 +752,11 @@ class DSLog:
     def load(cls, root: Union[str, Path], gzip: bool = True, **kwargs) -> "DSLog":
         """Re-open a DSLog directory written by a previous session.
 
-        A directory with a segment-store manifest reopens on the segment
-        backend: O(manifest), with op names, operation records and reuse
-        state intact, and table bytes left on disk until first query.
+        A directory with a root ``SHARDS.json`` reopens on the sharded
+        backend; one with a segment-store manifest reopens on the segment
+        backend.  Both are O(manifest), with op names, operation records
+        and reuse state intact, and table bytes left on disk until first
+        query.
 
         A legacy directory (one ``.provrc[.gz]`` file per entry) is read
         eagerly: only the long-term backward tables exist on disk, so the
@@ -606,10 +764,13 @@ class DSLog:
         per-operation metadata is gone — ingest into a
         ``backend="segment"`` log to keep it.
         """
+        from .service.shards import load_shards_file
         from .storage.manifest import load_manifest
 
         kwargs.pop("backend", None)  # the on-disk layout decides the backend
 
+        if load_shards_file(root) is not None:
+            return cls(root=root, gzip=gzip, backend="sharded", **kwargs)
         if load_manifest(root) is not None:
             return cls(root=root, gzip=gzip, backend="segment", **kwargs)
 

@@ -14,14 +14,18 @@ shortest stored path(s) — forward along lineage edges if one exists,
 otherwise backward — and when several equally short paths exist (a diamond
 DAG) the per-path results are unioned.
 
-A graph instance is a snapshot: it records the catalog version it was built
-from, and ``DSLog.graph`` rebuilds it whenever the catalog has changed.
-Resolved path lists are memoized on the instance, so repeated automatic
-queries skip the BFS entirely.
+A graph instance tracks the catalog *incrementally*: it records the catalog
+version it was built from, and :meth:`LineageGraph.refresh` folds in only
+the entries and arrays added since — new edges are merged into the existing
+adjacency index instead of rebuilding the whole graph, and the memoized path
+lists are invalidated.  ``DSLog.graph`` calls ``refresh()`` on every access,
+so a planned query after a burst of ingest pays O(new entries), not
+O(catalog).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -36,18 +40,69 @@ class LineageGraph:
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
         self.version = catalog.version
+        self._lock = threading.RLock()
         self._out: Dict[str, List[str]] = {name: [] for name in catalog.arrays}
         self._in: Dict[str, List[str]] = {name: [] for name in catalog.arrays}
-        for entry in catalog.entries():
-            self._out.setdefault(entry.in_name, []).append(entry.out_name)
-            self._in.setdefault(entry.out_name, []).append(entry.in_name)
-            self._out.setdefault(entry.out_name, [])
-            self._in.setdefault(entry.in_name, [])
+        self._known_pairs: Set[Tuple[str, str]] = set()
+        self.refresh_count = 0
+        for in_name, out_name in catalog.entry_pairs():
+            self._known_pairs.add((in_name, out_name))
+            self._out.setdefault(in_name, []).append(out_name)
+            self._in.setdefault(out_name, []).append(in_name)
+            self._out.setdefault(out_name, [])
+            self._in.setdefault(in_name, [])
         # deterministic traversal (and therefore deterministic path order)
         for adjacency in (self._out, self._in):
             for neighbors in adjacency.values():
                 neighbors.sort()
         self._path_memo: Dict[Tuple[str, str], List[List[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def refresh(self) -> bool:
+        """Fold catalog changes since the last refresh into the graph.
+
+        Keyed on the catalog's generation counter: when the version is
+        unchanged (and no arrays were defined in the meantime) this is a
+        two-comparison no-op, so calling it on every ``DSLog.graph`` access
+        is free.  Otherwise only the *new* entries' edges are merged into
+        the adjacency index — each touched neighbor list is re-sorted to
+        keep traversal deterministic — and the path memo is dropped
+        (replaced entries change tables, never edges, so adjacency needs no
+        downgrade handling).  Returns whether anything changed.
+        """
+        catalog = self.catalog
+        if self.version == catalog.version and len(self._out) == len(catalog.arrays):
+            return False
+        with self._lock:
+            if self.version == catalog.version and len(self._out) == len(catalog.arrays):
+                return False
+            for name in catalog.arrays:
+                if name not in self._out:
+                    self._out[name] = []
+                    self._in[name] = []
+            touched_out: Set[str] = set()
+            touched_in: Set[str] = set()
+            for pair in catalog.entry_pairs():
+                if pair in self._known_pairs:
+                    continue
+                self._known_pairs.add(pair)
+                in_name, out_name = pair
+                self._out.setdefault(in_name, []).append(out_name)
+                self._in.setdefault(out_name, []).append(in_name)
+                self._out.setdefault(out_name, [])
+                self._in.setdefault(in_name, [])
+                touched_out.add(in_name)
+                touched_in.add(out_name)
+            for name in touched_out:
+                self._out[name].sort()
+            for name in touched_in:
+                self._in[name].sort()
+            self._path_memo.clear()
+            self.version = catalog.version
+            self.refresh_count += 1
+            return True
 
     # ------------------------------------------------------------------
     # adjacency
@@ -87,14 +142,15 @@ class LineageGraph:
         """
         self._check(src)
         self._check(dst)
-        memo = self._path_memo.get((src, dst))
-        if memo is not None:
-            return [list(path) for path in memo]
-        paths = self._bfs_all_shortest(src, dst, self._out)
-        if not paths:
-            paths = self._bfs_all_shortest(src, dst, self._in)
-        self._path_memo[(src, dst)] = [list(path) for path in paths]
-        return paths
+        with self._lock:
+            memo = self._path_memo.get((src, dst))
+            if memo is not None:
+                return [list(path) for path in memo]
+            paths = self._bfs_all_shortest(src, dst, self._out)
+            if not paths:
+                paths = self._bfs_all_shortest(src, dst, self._in)
+            self._path_memo[(src, dst)] = [list(path) for path in paths]
+            return paths
 
     def shortest_path(self, src: str, dst: str) -> List[str]:
         """The first (lexicographically smallest) shortest path, or a

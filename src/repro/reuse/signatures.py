@@ -22,6 +22,7 @@ uses ``m = 1``.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
@@ -151,45 +152,56 @@ class _Candidate:
 
 
 class ReuseManager:
-    """Tracks signature mappings and drives automatic reuse prediction."""
+    """Tracks signature mappings and drives automatic reuse prediction.
+
+    Thread-safe: the concurrent lineage service runs ``lookup``/``observe``
+    from several ingest workers at once, and a manifest publish may export
+    the state concurrently — every method that touches the signature tables
+    holds the manager's reentrant lock.  ``mutation_count`` increases on
+    every state change so a sync can skip re-exporting unchanged state.
+    """
 
     def __init__(self, confirmations_required: int = 1):
         self.confirmations_required = int(confirmations_required)
+        self._lock = threading.RLock()
         self._base: Dict[Tuple, Dict[RelationKey, CompressedLineage]] = {}
         self._dim: Dict[Tuple, _Candidate] = {}
         self._gen: Dict[Tuple, _Candidate] = {}
         self.mispredictions: int = 0
+        self.mutation_count: int = 0
 
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
     def lookup(self, signature: OperationSignature) -> ReuseDecision:
         """Return reusable lineage tables for this call, if any."""
-        base = self._base.get(signature.base_key)
-        if base is not None:
-            return ReuseDecision(level="base", tables=dict(base))
+        with self._lock:
+            base = self._base.get(signature.base_key)
+            if base is not None:
+                return ReuseDecision(level="base", tables=dict(base))
 
-        dim = self._dim.get(signature.dim_key)
-        if dim is not None and dim.permanent and not dim.blocked:
-            return ReuseDecision(level="dim", tables=dict(dim.tables))
+            dim = self._dim.get(signature.dim_key)
+            if dim is not None and dim.permanent and not dim.blocked:
+                return ReuseDecision(level="dim", tables=dict(dim.tables))
 
-        gen = self._gen.get(signature.gen_key)
-        if gen is not None and gen.permanent and not gen.blocked:
-            tables = {}
-            try:
-                for key, generalized in gen.generalized.items():
-                    out_shape = signature.out_shapes[0] if signature.out_shapes else ()
-                    in_shape = signature.in_shapes[0] if signature.in_shapes else ()
-                    tables[key] = generalized.instantiate(out_shape, in_shape)
-            except ValueError:
-                # The promoted generalized mapping cannot serve this call's
-                # shapes (e.g. numpy.cross changing output arity with the
-                # second dimension): a reuse misprediction, fall back to capture.
-                self.mispredictions += 1
-                gen.blocked = True
-                return ReuseDecision(level=None)
-            return ReuseDecision(level="gen", tables=tables)
-        return ReuseDecision(level=None)
+            gen = self._gen.get(signature.gen_key)
+            if gen is not None and gen.permanent and not gen.blocked:
+                tables = {}
+                try:
+                    for key, generalized in gen.generalized.items():
+                        out_shape = signature.out_shapes[0] if signature.out_shapes else ()
+                        in_shape = signature.in_shapes[0] if signature.in_shapes else ()
+                        tables[key] = generalized.instantiate(out_shape, in_shape)
+                except ValueError:
+                    # The promoted generalized mapping cannot serve this call's
+                    # shapes (e.g. numpy.cross changing output arity with the
+                    # second dimension): a reuse misprediction, fall back to capture.
+                    self.mispredictions += 1
+                    self.mutation_count += 1
+                    gen.blocked = True
+                    return ReuseDecision(level=None)
+                return ReuseDecision(level="gen", tables=tables)
+            return ReuseDecision(level=None)
 
     # ------------------------------------------------------------------
     # observation / prediction
@@ -201,9 +213,11 @@ class ReuseManager:
     ) -> None:
         """Record freshly captured lineage and update reuse predictions."""
         tables = dict(tables)
-        self._base[signature.base_key] = tables
-        self._observe_dim(signature, tables)
-        self._observe_gen(signature, tables)
+        with self._lock:
+            self._base[signature.base_key] = tables
+            self._observe_dim(signature, tables)
+            self._observe_gen(signature, tables)
+            self.mutation_count += 1
 
     def _observe_dim(self, signature, tables) -> None:
         candidate = self._dim.get(signature.dim_key)
@@ -282,16 +296,17 @@ class ReuseManager:
                 "blocked": candidate.blocked,
             }
 
-        return {
-            "confirmations_required": self.confirmations_required,
-            "mispredictions": self.mispredictions,
-            "base": [
-                {"key": key, "tables": encode_tables(tables)}
-                for key, tables in self._base.items()
-            ],
-            "dim": [encode_candidate(k, c) for k, c in self._dim.items()],
-            "gen": [encode_candidate(k, c) for k, c in self._gen.items()],
-        }
+        with self._lock:
+            return {
+                "confirmations_required": self.confirmations_required,
+                "mispredictions": self.mispredictions,
+                "base": [
+                    {"key": key, "tables": encode_tables(tables)}
+                    for key, tables in self._base.items()
+                ],
+                "dim": [encode_candidate(k, c) for k, c in self._dim.items()],
+                "gen": [encode_candidate(k, c) for k, c in self._gen.items()],
+            }
 
     def import_state(self, state: Mapping, load_table) -> None:
         """Rebuild the signature mappings exported by :meth:`export_state`.
@@ -322,42 +337,49 @@ class ReuseManager:
             )
             return candidate
 
-        self.confirmations_required = int(
-            state.get("confirmations_required", self.confirmations_required)
-        )
-        self.mispredictions = int(state.get("mispredictions", 0))
-        self._base = {
-            tuplify(item["key"]): decode_tables(item["tables"]) for item in state.get("base", [])
-        }
-        self._dim = {
-            tuplify(item["key"]): decode_candidate(item, generalized=False)
-            for item in state.get("dim", [])
-        }
-        self._gen = {
-            tuplify(item["key"]): decode_candidate(item, generalized=True)
-            for item in state.get("gen", [])
-        }
+        with self._lock:
+            self.confirmations_required = int(
+                state.get("confirmations_required", self.confirmations_required)
+            )
+            self.mispredictions = int(state.get("mispredictions", 0))
+            self._base = {
+                tuplify(item["key"]): decode_tables(item["tables"]) for item in state.get("base", [])
+            }
+            self._dim = {
+                tuplify(item["key"]): decode_candidate(item, generalized=False)
+                for item in state.get("dim", [])
+            }
+            self._gen = {
+                tuplify(item["key"]): decode_candidate(item, generalized=True)
+                for item in state.get("gen", [])
+            }
+            self.mutation_count += 1
 
     # ------------------------------------------------------------------
     # introspection (used by the Table IX coverage experiment)
     # ------------------------------------------------------------------
     def record_misprediction(self) -> None:
-        self.mispredictions += 1
+        with self._lock:
+            self.mispredictions += 1
+            self.mutation_count += 1
 
     def has_dim_mapping(self, signature: OperationSignature) -> bool:
-        candidate = self._dim.get(signature.dim_key)
-        return bool(candidate and candidate.permanent and not candidate.blocked)
+        with self._lock:
+            candidate = self._dim.get(signature.dim_key)
+            return bool(candidate and candidate.permanent and not candidate.blocked)
 
     def has_gen_mapping(self, signature: OperationSignature) -> bool:
-        candidate = self._gen.get(signature.gen_key)
-        return bool(candidate and candidate.permanent and not candidate.blocked)
+        with self._lock:
+            candidate = self._gen.get(signature.gen_key)
+            return bool(candidate and candidate.permanent and not candidate.blocked)
 
     def stats(self) -> dict:
-        return {
-            "base_entries": len(self._base),
-            "dim_entries": sum(1 for c in self._dim.values() if c.permanent),
-            "gen_entries": sum(1 for c in self._gen.values() if c.permanent),
-            "blocked_dim": sum(1 for c in self._dim.values() if c.blocked),
-            "blocked_gen": sum(1 for c in self._gen.values() if c.blocked),
-            "mispredictions": self.mispredictions,
-        }
+        with self._lock:
+            return {
+                "base_entries": len(self._base),
+                "dim_entries": sum(1 for c in self._dim.values() if c.permanent),
+                "gen_entries": sum(1 for c in self._gen.values() if c.permanent),
+                "blocked_dim": sum(1 for c in self._dim.values() if c.blocked),
+                "blocked_gen": sum(1 for c in self._gen.values() if c.blocked),
+                "mispredictions": self.mispredictions,
+            }

@@ -1,0 +1,497 @@
+"""The concurrent lineage service (``LineageService``): async ingest with
+bounded queues, worker threads and group commit.
+
+The single-threaded ``DSLog.register_operation`` runs ProvRC compression,
+segment appends and (with ``autosync``) a full manifest publish on the
+caller's thread — in-situ capture stalls the host pipeline for the whole
+round trip.  The service decouples the three:
+
+    submit() ──► bounded queue ──► worker pool ──► sharded store ──► committer
+    (caller,       (backpressure)   (compression     (per-shard        (group
+     returns                         + appends,       appends)          commit:
+     a ticket)                       off-path)                          one publish
+                                                                        per batch)
+
+* :meth:`LineageService.submit` enqueues a raw operation — relations or
+  capture callables, exactly the ``register_operation`` surface — and
+  returns an :class:`IngestTicket` immediately.  When the queue is full the
+  call blocks: backpressure, so an ingest storm cannot grow memory without
+  bound.
+* **Workers** pop operations and run the expensive part — signature
+  fingerprinting, reuse lookup, ProvRC compression, table serialization —
+  with no lock held; only the per-shard segment append and the catalog
+  dict insert are serialized (:mod:`repro.service.shards`).
+* The **committer** publishes manifests in *group commits*: every pending
+  applied operation rides the same per-shard fsync + manifest swap.  A
+  ticket resolves only once a publish covers it, so ``ticket.result()``
+  means *durable*, and N concurrent writers share one publish instead of
+  paying one each — the commit window (``commit_interval``) trades a few
+  milliseconds of single-op latency for multi-writer throughput, exactly
+  like a database's group commit delay.
+* :meth:`LineageService.flush` drains the queue and forces a commit;
+  :meth:`LineageService.snapshot` hands out a snapshot-isolated read view
+  (:mod:`repro.service.snapshot`) that concurrent ingest never perturbs;
+  :meth:`LineageService.compact` reclaims one shard (or all) while the
+  others keep ingesting.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..dslog import DSLog
+from ..storage.store import DEFAULT_CACHE_BYTES, DEFAULT_SEGMENT_MAX_BYTES
+from .shards import DEFAULT_NUM_SHARDS
+
+__all__ = ["IngestTicket", "LineageService", "ServiceClosedError"]
+
+_SENTINEL = object()
+
+
+class ServiceClosedError(RuntimeError):
+    """submit() was called on a closed (or closing) service."""
+
+
+class IngestTicket:
+    """Handle for one submitted operation.
+
+    Resolves when the operation is *durable* — applied to the catalog and
+    covered by a published manifest generation — or failed.  Timestamps are
+    kept at each stage so callers (and the ingest benchmark) can separate
+    queueing, apply and commit latency.
+    """
+
+    __slots__ = (
+        "spec",
+        "submitted_at",
+        "applied_at",
+        "durable_at",
+        "_record",
+        "_error",
+        "_event",
+    )
+
+    def __init__(self, spec: Dict[str, Any]) -> None:
+        self.spec = spec
+        self.submitted_at = time.monotonic()
+        self.applied_at: Optional[float] = None
+        self.durable_at: Optional[float] = None
+        self._record: Any = None
+        self._error: Optional[BaseException] = None
+        self._event = threading.Event()
+
+    # -- service-side transitions --------------------------------------
+    def _mark_applied(self, record: Any) -> None:
+        self._record = record
+        self.applied_at = time.monotonic()
+        # the spec holds relations/captures/input_data — potentially large
+        # arrays; once applied, nothing reads it again, so don't let a
+        # long-held ticket pin those objects in memory
+        self.spec = None
+
+    def _mark_durable(self, when: float) -> None:
+        self.durable_at = when
+        self._event.set()
+
+    def _mark_failed(self, error: BaseException) -> None:
+        self._error = error
+        self.spec = None
+        self._event.set()
+
+    # -- caller API ----------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def failed(self) -> bool:
+        return self._error is not None
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the ticket resolves; returns whether it did."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The ingested :class:`OperationRecord` (or the lineage entry for
+        ``submit_lineage``), once durable.  Re-raises the worker's
+        exception for a failed operation."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("operation not durable within the timeout")
+        if self._error is not None:
+            raise self._error
+        return self._record
+
+    @property
+    def durable_latency(self) -> Optional[float]:
+        """Seconds from submit to durable publish (None until resolved)."""
+        if self.durable_at is None:
+            return None
+        return self.durable_at - self.submitted_at
+
+
+class LineageService:
+    """Concurrent, durable lineage ingest over a sharded DSLog.
+
+    Parameters
+    ----------
+    root:
+        Directory of the sharded catalog (created if absent).  Ignored when
+        *log* is given.
+    log:
+        An existing ``backend="sharded"`` DSLog to serve instead of opening
+        one.  The service takes ownership: ``close()`` closes it.
+    workers:
+        Ingest worker threads.  Compression and serialization run here with
+        no lock held, overlapping each other and the committer's fsyncs.
+    queue_size:
+        Bound of the ingest queue; a full queue blocks ``submit``
+        (backpressure).
+    commit_interval:
+        Group-commit window in seconds.  The committer publishes at most
+        once per window (a ``flush()`` overrides it), so concurrent writers
+        amortize the per-shard fsync + manifest swap across the batch.
+        Single-op durable latency is at least one window — the group-commit
+        trade.
+    num_shards / gzip / cache_bytes / segment_max_bytes / reuse_confirmations:
+        Forwarded to :class:`DSLog` when the service opens the catalog.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        *,
+        log: Optional[DSLog] = None,
+        workers: int = 2,
+        queue_size: int = 256,
+        commit_interval: float = 0.002,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        gzip: bool = True,
+        reuse_confirmations: int = 1,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+    ) -> None:
+        if log is None:
+            if root is None:
+                raise ValueError("LineageService needs a root directory or a log")
+            log = DSLog(
+                root,
+                backend="sharded",
+                num_shards=num_shards,
+                gzip=gzip,
+                reuse_confirmations=reuse_confirmations,
+                cache_bytes=cache_bytes,
+                segment_max_bytes=segment_max_bytes,
+                autosync=False,
+            )
+        if log.backend != "sharded":
+            raise ValueError(
+                f"LineageService needs a sharded DSLog, got backend={log.backend!r}"
+            )
+        log.autosync = False  # the committer owns publishing
+        self.log = log
+        self.commit_interval = float(commit_interval)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=int(queue_size))
+        self._cv = threading.Condition()
+        self._applied: List[IngestTicket] = []
+        self._inflight = 0  # submitted, not yet applied or failed
+        self._committing = False  # a popped batch is mid-publish
+        self._stop = False
+        self._closed = False
+        self._flush_requested = False
+        self._last_commit = time.monotonic() - self.commit_interval
+        # counters (read under _cv)
+        self.submitted = 0
+        self.failed = 0
+        self.commits = 0
+        self.committed_ops = 0
+        self.largest_commit = 0
+
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"lineage-worker-{i}", daemon=True)
+            for i in range(max(1, int(workers)))
+        ]
+        self._committer = threading.Thread(
+            target=self._committer_loop, name="lineage-committer", daemon=True
+        )
+        for thread in self._workers:
+            thread.start()
+        self._committer.start()
+
+    # ------------------------------------------------------------------
+    # the write path
+    # ------------------------------------------------------------------
+    def define_array(self, name: str, shape: Sequence[int]):
+        """Declare a tracked array (synchronous: metadata only, and every
+        subsequently submitted operation may reference it)."""
+        self._check_open()
+        return self.log.define_array(name, shape)
+
+    def submit(
+        self,
+        op_name: str,
+        in_arrs: Sequence[str],
+        out_arrs: Sequence[str],
+        relations: Optional[Mapping[Tuple[str, str], Any]] = None,
+        captures: Optional[Mapping[Tuple[str, str], Any]] = None,
+        input_data: Optional[Mapping[str, Any]] = None,
+        op_args: Optional[Mapping[str, Any]] = None,
+        reuse: bool = True,
+        replace: bool = False,
+        timeout: Optional[float] = None,
+    ) -> IngestTicket:
+        """Enqueue one operation for async ingest; returns immediately.
+
+        Mirrors :meth:`DSLog.register_operation`.  Blocks only when the
+        ingest queue is full (backpressure) — pass *timeout* to bound that
+        wait (``queue.Full`` is raised on expiry).
+        """
+        spec = dict(
+            kind="operation",
+            op_name=op_name,
+            in_arrs=tuple(in_arrs),
+            out_arrs=tuple(out_arrs),
+            relations=relations,
+            captures=captures,
+            input_data=input_data,
+            op_args=op_args,
+            reuse=reuse,
+            replace=replace,
+        )
+        return self._enqueue(spec, timeout)
+
+    def submit_lineage(
+        self,
+        in_arr: str,
+        out_arr: str,
+        relation=None,
+        capture=None,
+        op_name: Optional[str] = None,
+        replace: bool = False,
+        timeout: Optional[float] = None,
+    ) -> IngestTicket:
+        """Enqueue a single lineage pair (mirrors :meth:`DSLog.add_lineage`)."""
+        spec = dict(
+            kind="lineage",
+            in_arr=in_arr,
+            out_arr=out_arr,
+            relation=relation,
+            capture=capture,
+            op_name=op_name,
+            replace=replace,
+        )
+        return self._enqueue(spec, timeout)
+
+    def _enqueue(self, spec: Dict[str, Any], timeout: Optional[float]) -> IngestTicket:
+        self._check_open()
+        ticket = IngestTicket(spec)
+        with self._cv:
+            self._inflight += 1
+            self.submitted += 1
+        try:
+            self._queue.put(ticket, timeout=timeout)
+        except BaseException:
+            with self._cv:
+                self._inflight -= 1
+                self.submitted -= 1
+            raise
+        return ticket
+
+    def _check_open(self) -> None:
+        if self._closed or self._stop:
+            raise ServiceClosedError("the lineage service is closed")
+
+    # ------------------------------------------------------------------
+    # worker pool
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SENTINEL:
+                    return
+                self._apply(item)
+            finally:
+                self._queue.task_done()
+
+    def _apply(self, ticket: IngestTicket) -> None:
+        spec = ticket.spec
+        try:
+            if spec["kind"] == "operation":
+                record = self.log.register_operation(
+                    spec["op_name"],
+                    spec["in_arrs"],
+                    spec["out_arrs"],
+                    relations=spec["relations"],
+                    captures=spec["captures"],
+                    input_data=spec["input_data"],
+                    op_args=spec["op_args"],
+                    reuse=spec["reuse"],
+                    replace=spec["replace"],
+                )
+            else:
+                record = self.log.add_lineage(
+                    spec["in_arr"],
+                    spec["out_arr"],
+                    relation=spec["relation"],
+                    capture=spec["capture"],
+                    op_name=spec["op_name"],
+                    replace=spec["replace"],
+                )
+        except BaseException as error:
+            with self._cv:
+                self._inflight -= 1
+                self.failed += 1
+                ticket._mark_failed(error)
+                self._cv.notify_all()
+        else:
+            ticket._mark_applied(record)
+            with self._cv:
+                self._inflight -= 1
+                self._applied.append(ticket)
+                self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # group commit
+    # ------------------------------------------------------------------
+    def _committer_loop(self) -> None:
+        while True:
+            with self._cv:
+                now = time.monotonic()
+                due = bool(self._applied) and (
+                    self._flush_requested
+                    or self._stop
+                    or now - self._last_commit >= self.commit_interval
+                )
+                if not due:
+                    if self._stop and not self._applied and self._inflight == 0:
+                        return
+                    if self._applied:
+                        wait = max(0.0005, self.commit_interval - (now - self._last_commit))
+                    else:
+                        wait = 0.1  # idle: re-check stop periodically
+                    self._cv.wait(wait)
+                    continue
+                batch = self._applied
+                self._applied = []
+                self._committing = True
+            self._last_commit = time.monotonic()
+            try:
+                self._commit(batch)
+            finally:
+                with self._cv:
+                    self._committing = False
+                    self._cv.notify_all()
+
+    def _commit(self, batch: List[IngestTicket]) -> None:
+        try:
+            self.log.sync()
+        except BaseException as error:
+            with self._cv:
+                for ticket in batch:
+                    self.failed += 1
+                    ticket._mark_failed(error)
+                self._cv.notify_all()
+        else:
+            now = time.monotonic()
+            with self._cv:
+                self.commits += 1
+                self.committed_ops += len(batch)
+                self.largest_commit = max(self.largest_commit, len(batch))
+                for ticket in batch:
+                    ticket._mark_durable(now)
+                self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # flush / close / maintenance
+    # ------------------------------------------------------------------
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until every operation submitted so far is durable (or
+        failed).  Overrides the commit window: the committer publishes as
+        soon as the queue drains."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while self._inflight > 0 or self._applied or self._committing:
+                self._flush_requested = True
+                self._cv.notify_all()
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("flush() timed out")
+                self._cv.wait(0.05 if remaining is None else min(0.05, remaining))
+            self._flush_requested = False
+
+    def snapshot(self):
+        """A snapshot-isolated, read-only DSLog view of the catalog *as
+        applied* right now (durability may lag by one commit window)."""
+        return self.log.snapshot()
+
+    def compact(self, shard: Optional[int] = None) -> dict:
+        """Publish pending state, then compact one shard (or all) while
+        ingest into other shards proceeds."""
+        return self.log.compact(shard=shard)
+
+    def stats(self) -> dict:
+        with self._cv:
+            return {
+                "submitted": self.submitted,
+                "failed": self.failed,
+                "inflight": self._inflight,
+                "applied_pending_commit": len(self._applied),
+                "commits": self.commits,
+                "committed_ops": self.committed_ops,
+                "largest_commit": self.largest_commit,
+                "avg_commit_batch": (
+                    self.committed_ops / self.commits if self.commits else 0.0
+                ),
+                "queue_depth": self._queue.qsize(),
+                "generation_vector": list(self.log.store.generation_vector()),
+            }
+
+    def close(self) -> None:
+        """Flush, stop the worker pool and the committer, close the log."""
+        if self._closed:
+            return
+        self.flush()
+        with self._cv:
+            self._stop = True
+            self._cv.notify_all()
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for thread in self._workers:
+            thread.join()
+        # a submit() racing this close can land its ticket behind the
+        # sentinels, where no worker will ever pop it; fail those tickets
+        # (releasing their waiters) so the committer's exit condition —
+        # zero inflight — can be met
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                with self._cv:
+                    if self._inflight == 0:
+                        break
+                # a racing submit has incremented _inflight but not yet
+                # finished its queue.put — give it a beat and re-drain
+                time.sleep(0.001)
+                continue
+            if item is _SENTINEL:
+                continue
+            with self._cv:
+                self._inflight -= 1
+                self.failed += 1
+                item._mark_failed(ServiceClosedError("the lineage service is closed"))
+                self._cv.notify_all()
+        with self._cv:
+            self._cv.notify_all()
+        self._committer.join()
+        self._closed = True
+        self.log.close()
+
+    def __enter__(self) -> "LineageService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,444 @@
+"""The sharded multi-writer lineage store (``ShardedLineageStore``).
+
+A sharded catalog directory fans the entry set out over *N* shard
+subdirectories, each a complete single-writer store of its own —
+append-only segment files plus an atomic per-shard ``MANIFEST.json``
+(:mod:`repro.storage.store`) — indexed by one root ``SHARDS.json``:
+
+    root/
+      SHARDS.json            # shard count + on-disk format (immutable)
+      shard-00/              # the *meta shard*: entries hashed here, plus
+        MANIFEST.json        # arrays, operation records and reuse state
+        segment-000001.seg
+      shard-01/
+        MANIFEST.json        # entries hashed to shard 1, nothing else
+        segment-000001.seg
+      ...
+
+An entry's home shard is the stable hash of its ``(input, output)`` pair,
+so two writers touching different pairs usually append to different
+segment files and publish different manifests — the write path is
+partitioned, not merely locked.  ``compact()`` and the LRU table-cache
+byte budget are per shard: one shard can be compacted (or evicted) while
+the others keep serving.
+
+Global catalog metadata — tracked arrays, operation records, the reuse
+predictor's state — is not per-pair and lives in the manifest of shard 0,
+the *meta shard*.  Reuse-state tables are always appended to the meta
+shard (even when an identical table already sits in another shard's
+segments) so every ref inside a shard's manifest is shard-local and
+per-shard compaction never has to rewrite another shard's files.
+
+Concurrency model
+-----------------
+* ``meta_lock`` — guards the in-memory catalog dicts and every manifest
+  row list.  Held briefly: never across table serialization, segment
+  appends, fsyncs or manifest file writes.
+* one append lock per shard — serializes segment appends and manifest
+  publishes of that shard.  Writers to different shards do not contend.
+* Lock order is ``reuse-manager lock → shard lock → meta_lock``; no code
+  path acquires them in the opposite direction.
+
+:class:`ShardedCatalog` maintains each shard's manifest rows *incrementally*
+at apply time (one row dict appended or updated per ingested entry), so a
+manifest publish is serialize + fsync + rename — O(shard), with none of the
+full-catalog row rebuilding the single-store backend does on every sync.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from ..core.compressed import CompressedLineage
+from ..core.serialize import serialize_table
+from ..storage.catalog import Catalog, LineageConflictError, LineageEntry, OperationRecord
+from ..storage.store import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_SEGMENT_MAX_BYTES,
+    LineageStore,
+    StoredLineageEntry,
+    TableRef,
+)
+
+__all__ = [
+    "SHARDS_NAME",
+    "SHARDS_FORMAT",
+    "DEFAULT_NUM_SHARDS",
+    "shard_index",
+    "ShardedLineageStore",
+    "ShardedCatalog",
+]
+
+SHARDS_NAME = "SHARDS.json"
+SHARDS_FORMAT = "dslog-sharded-store"
+SHARDS_FORMAT_VERSION = 1
+DEFAULT_NUM_SHARDS = 4
+META_SHARD = 0
+
+
+def shard_index(in_name: str, out_name: str, num_shards: int) -> int:
+    """Stable home shard of an entry pair — crc32 of the two names.
+
+    Deterministic across processes and sessions (unlike ``hash()``, which
+    is salted per interpreter), so a reopened catalog routes every pair to
+    the shard that already holds it.
+    """
+    key = f"{in_name}\x00{out_name}".encode("utf-8")
+    return zlib.crc32(key) % num_shards
+
+
+def load_shards_file(root: Union[str, Path]) -> Optional[dict]:
+    """Read ``SHARDS.json``, or ``None`` when the directory is not sharded."""
+    path = Path(root) / SHARDS_NAME
+    if not path.exists():
+        return None
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("format") != SHARDS_FORMAT:
+        raise ValueError(f"not a {SHARDS_FORMAT} directory")
+    if int(data.get("format_version", 0)) > SHARDS_FORMAT_VERSION:
+        raise ValueError(
+            f"shards format version {data['format_version']} is newer "
+            f"than this build supports ({SHARDS_FORMAT_VERSION})"
+        )
+    return data
+
+
+class ShardedLineageStore:
+    """N single-writer :class:`LineageStore` shards behind one root."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        gzip: bool = True,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        existing = load_shards_file(self.root)
+        if existing is not None:
+            # the on-disk layout is authoritative, like the manifest's gzip
+            self.num_shards = int(existing["num_shards"])
+            self.gzip = bool(existing["gzip"])
+        else:
+            if num_shards < 1:
+                raise ValueError("a sharded store needs at least one shard")
+            self.num_shards = int(num_shards)
+            self.gzip = gzip
+            self._write_shards_file()
+        per_shard_budget = max(1, int(cache_bytes) // self.num_shards)
+        self.shards: List[LineageStore] = [
+            LineageStore(
+                self.root / f"shard-{idx:02d}",
+                gzip=self.gzip,
+                cache_bytes=per_shard_budget,
+                segment_max_bytes=segment_max_bytes,
+            )
+            for idx in range(self.num_shards)
+        ]
+        self.meta_lock = threading.RLock()
+        self._shard_locks = [threading.RLock() for _ in range(self.num_shards)]
+        self._dirty: Set[int] = set()
+        # serializes whole-store maintenance — manifest publishes, reuse
+        # export, compaction — against each other (writers never take it);
+        # lock order: maintenance → reuse-manager → shard → meta
+        self.maintenance_lock = threading.RLock()
+
+    def _write_shards_file(self) -> None:
+        """Create ``SHARDS.json`` atomically (written once, never updated)."""
+        path = self.root / SHARDS_NAME
+        tmp = path.with_suffix(".json.tmp")
+        data = json.dumps(
+            {
+                "format": SHARDS_FORMAT,
+                "format_version": SHARDS_FORMAT_VERSION,
+                "num_shards": self.num_shards,
+                "gzip": self.gzip,
+            },
+            separators=(",", ":"),
+        )
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_for(self, in_name: str, out_name: str) -> int:
+        return shard_index(in_name, out_name, self.num_shards)
+
+    def shard(self, idx: int) -> LineageStore:
+        return self.shards[idx]
+
+    @property
+    def meta(self) -> LineageStore:
+        """The meta shard: arrays, operation records and reuse state."""
+        return self.shards[META_SHARD]
+
+    @contextmanager
+    def shard_lock(self, idx: int) -> Iterator[None]:
+        with self._shard_locks[idx]:
+            yield
+
+    # ------------------------------------------------------------------
+    # dirty tracking + group publish
+    # ------------------------------------------------------------------
+    def mark_dirty(self, idx: int) -> None:
+        """Record that shard *idx* has unpublished appends or rows.  The
+        caller must hold ``meta_lock`` (every mutation path already does)."""
+        self._dirty.add(idx)
+
+    def sync_dirty(self) -> Dict[int, int]:
+        """Publish every dirty shard's manifest; the group-commit step.
+
+        Returns ``{shard: new generation}``.  Each shard is synced under
+        its own append lock (no record may land between the segment fsync
+        and the manifest serialization), with ``meta_lock`` held only for
+        the in-memory JSON dump.
+        """
+        with self.maintenance_lock:
+            with self.meta_lock:
+                dirty = sorted(self._dirty)
+                self._dirty.clear()
+            published: Dict[int, int] = {}
+            for idx in dirty:
+                with self._shard_locks[idx]:
+                    published[idx] = self.shards[idx].sync(serialize_lock=self.meta_lock)
+            return published
+
+    def sync_all(self) -> Dict[int, int]:
+        """Publish every shard regardless of dirtiness (close/checkpoint)."""
+        with self.maintenance_lock:
+            with self.meta_lock:
+                self._dirty.clear()
+            published = {}
+            for idx in range(self.num_shards):
+                with self._shard_locks[idx]:
+                    published[idx] = self.shards[idx].sync(serialize_lock=self.meta_lock)
+            return published
+
+    def generation_vector(self) -> Tuple[int, ...]:
+        """The published manifest generation of every shard, in shard order.
+        Snapshot readers pin this vector; two equal vectors denote the same
+        durable catalog state."""
+        return tuple(shard.manifest.generation for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # snapshot pins
+    # ------------------------------------------------------------------
+    def pin(self) -> None:
+        for shard in self.shards:
+            shard.pin()
+
+    def release_pin(self) -> None:
+        for shard in self.shards:
+            shard.release_pin()
+
+    # ------------------------------------------------------------------
+    # meta-shard delegation (reuse-state tables)
+    # ------------------------------------------------------------------
+    def append_table(self, table: CompressedLineage) -> TableRef:
+        """Append a reuse-state table to the meta shard.  Always meta-local
+        (even when the table's bytes exist in another shard) so no manifest
+        ever holds a cross-shard ref."""
+        payload = serialize_table(table, gzip=self.gzip)
+        with self._shard_locks[META_SHARD]:
+            return self.meta.append_payload(payload, table=table)
+
+    def ref_for(self, table: CompressedLineage) -> Optional[TableRef]:
+        return self.meta.ref_for(table)
+
+    def load_table(self, ref: TableRef) -> CompressedLineage:
+        return self.meta.load_table(ref)
+
+    # ------------------------------------------------------------------
+    # accounting + maintenance
+    # ------------------------------------------------------------------
+    @property
+    def tables_deserialized(self) -> int:
+        return sum(shard.tables_deserialized for shard in self.shards)
+
+    def segment_bytes(self) -> int:
+        return sum(shard.segment_bytes() for shard in self.shards)
+
+    def live_bytes(self) -> int:
+        return sum(shard.live_bytes() for shard in self.shards)
+
+    def cache_stats(self) -> List[dict]:
+        return [shard.cache.stats() for shard in self.shards]
+
+    def compact(self, shard: Optional[int] = None) -> Dict[int, dict]:
+        """Compact one shard (or all), each under its own append lock, so
+        ingest into *other* shards proceeds while dead bytes are reclaimed.
+        The maintenance lock keeps compaction and manifest publishes from
+        interleaving (a publish mid-copy could reference moved records)."""
+        indices = range(self.num_shards) if shard is None else [shard]
+        stats: Dict[int, dict] = {}
+        with self.maintenance_lock:
+            for idx in indices:
+                with self._shard_locks[idx]:
+                    stats[idx] = self.shards[idx].compact(serialize_lock=self.meta_lock)
+        return stats
+
+    def close(self) -> None:
+        for idx, shard in enumerate(self.shards):
+            with self._shard_locks[idx]:
+                shard.close()
+
+
+class ShardedCatalog(Catalog):
+    """A thread-safe :class:`Catalog` partitioned over a sharded store.
+
+    Every mutation keeps the owning shard's manifest rows in step (the row
+    dicts appended here are the very objects the manifest serializes), so
+    publishing a shard never rebuilds anything.  Reads — ``array``,
+    ``entry_between``, ``entries`` — stay lock-free: the dicts only ever
+    grow or replace whole values, which is safe under concurrent readers.
+    """
+
+    def __init__(self, store: ShardedLineageStore) -> None:
+        super().__init__()
+        self.store = store
+        self._meta_lock = store.meta_lock
+        # pair -> manifest row dict (updated in place on replace)
+        self._rows: Dict[Tuple[str, str], dict] = {}
+        # pairs mid-append: reserved so two writers cannot both pass the
+        # conflict check, append, and silently overwrite each other
+        self._pending: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # arrays + operations (meta shard)
+    # ------------------------------------------------------------------
+    def define_array(self, name, shape):
+        with self._meta_lock:
+            info = super().define_array(name, shape)
+            manifest = self.store.meta.manifest
+            if manifest.arrays.get(name) != list(info.shape):
+                manifest.arrays[name] = list(info.shape)
+                self.store.mark_dirty(META_SHARD)
+            return info
+
+    def add_operation(self, record: OperationRecord) -> None:
+        with self._meta_lock:
+            super().add_operation(record)
+            self.store.meta.manifest.operations.append(
+                {
+                    "op_name": record.op_name,
+                    "in_arrs": list(record.in_arrs),
+                    "out_arrs": list(record.out_arrs),
+                    "op_args": record.op_args,
+                    "reuse_level": record.reuse_level,
+                    "entries": [list(pair) for pair in record.entries],
+                }
+            )
+            self.store.mark_dirty(META_SHARD)
+
+    # ------------------------------------------------------------------
+    # entries
+    # ------------------------------------------------------------------
+    def add_compressed(
+        self,
+        backward: CompressedLineage,
+        forward: CompressedLineage,
+        op_name: Optional[str] = None,
+        reused: bool = False,
+        replace: bool = False,
+    ) -> LineageEntry:
+        if backward.key_side != "output" or forward.key_side != "input":
+            raise ValueError("backward/forward tables have the wrong orientation")
+        pair = (backward.in_name, backward.out_name)
+        shard_idx = self.store.shard_for(*pair)
+        # serialize (and gzip) outside every lock: this is the CPU-heavy
+        # part of an append and must overlap across writer threads
+        payload_b = serialize_table(backward, gzip=self.store.gzip)
+        payload_f = serialize_table(forward, gzip=self.store.gzip)
+
+        with self._meta_lock:
+            existing = self._entries.get(pair)
+            if (existing is not None or pair in self._pending) and not replace:
+                held_by = existing.op_name if existing is not None else "an in-flight ingest"
+                raise LineageConflictError(
+                    f"lineage between {pair[0]!r} and {pair[1]!r} already stored "
+                    f"(op {held_by!r}); pass replace=True to version it"
+                )
+            self._pending.add(pair)
+        try:
+            shard = self.store.shard(shard_idx)
+            # the shard lock is held across append AND install: were it
+            # released in between, a compaction of this shard could slip
+            # into the gap and delete the just-written segment before the
+            # catalog row referencing it exists
+            with self.store.shard_lock(shard_idx):
+                backward_ref = shard.append_payload(payload_b, table=backward)
+                forward_ref = shard.append_payload(payload_f, table=forward)
+                with self._meta_lock:
+                    # the reservation is released only together with the
+                    # install, so no second writer can slip between the two
+                    self._pending.discard(pair)
+                    existing = self._entries.get(pair)
+                    entry = StoredLineageEntry(
+                        shard,
+                        in_name=pair[0],
+                        out_name=pair[1],
+                        backward_ref=backward_ref,
+                        forward_ref=forward_ref,
+                        op_name=op_name,
+                        reused=reused,
+                        version=existing.version + 1 if existing is not None else 1,
+                    )
+                    self._entries[pair] = entry
+                    row = {
+                        "in": entry.in_name,
+                        "out": entry.out_name,
+                        "op_name": entry.op_name,
+                        "reused": entry.reused,
+                        "version": entry.version,
+                        "backward": backward_ref.to_json(),
+                        "forward": forward_ref.to_json(),
+                    }
+                    old_row = self._rows.get(pair)
+                    if old_row is not None:
+                        # same dict object the shard manifest's entry list holds
+                        old_row.clear()
+                        old_row.update(row)
+                    else:
+                        shard.manifest.entries.append(row)
+                        self._rows[pair] = row
+                    self.version += 1
+                    self.store.mark_dirty(shard_idx)
+        except BaseException:
+            # on append failure the reservation must not wedge the pair
+            with self._meta_lock:
+                self._pending.discard(pair)
+            raise
+        return entry
+
+    def install_lazy_entry(self, entry: StoredLineageEntry, row: dict) -> None:
+        """Register a manifest-hydrated entry without touching its tables.
+        *row* must be the manifest's own row dict so replaces update it."""
+        pair = (entry.in_name, entry.out_name)
+        with self._meta_lock:
+            self._entries[pair] = entry
+            self._rows[pair] = row
+            self.version += 1
+
+    def entry_shard(self, pair: Tuple[str, str]) -> int:
+        return self.store.shard_for(*pair)
+
+    def materialize_all(self) -> int:
+        """Force-load every entry's tables; returns tables materialized."""
+        count = 0
+        for entry in self.entries():
+            entry.backward
+            entry.forward
+            count += 2
+        return count

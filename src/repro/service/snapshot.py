@@ -1,0 +1,166 @@
+"""Snapshot-isolated read-only catalog views (``SnapshotDSLog``).
+
+``DSLog.snapshot()`` / ``LineageService.snapshot()`` hand out a
+:class:`SnapshotDSLog`: a frozen, point-in-time view of the catalog that
+answers the full read API — ``prov_query`` (including graph-planned
+two-array paths), ``impact`` / ``dependencies`` / ``lineage_summary``,
+``storage_bytes`` — while writers, group commits and background compaction
+keep running on the live log.
+
+Isolation protocol
+------------------
+* The catalog metadata (array dict, entry dict, operation list) is copied
+  under the store's mutation lock, so the view is a *consistent cut*:
+  every entry it holds was fully installed, and nothing installed later is
+  visible.  Entry objects themselves are immutable once installed
+  (a ``replace=True`` re-ingest installs a *new* object), so sharing them
+  with the live catalog is safe.
+* Table bytes are still read lazily through the live stores' LRU caches.
+  Each backing store is **pinned** (:meth:`LineageStore.pin`) for the
+  snapshot's lifetime: a compaction that runs while the snapshot is open
+  retires its old segment files instead of deleting them, so refs the
+  snapshot resolved before the compaction stay readable until the last
+  pin is released.  Closing the snapshot releases the pins (and with them
+  any retired files).
+* ``generation_vector`` records the published per-shard manifest
+  generations at snapshot time (a single-element vector for the segment
+  backend) — two snapshots with equal vectors and equal catalog versions
+  saw the same durable state.
+
+Any mutating call on the view raises :class:`SnapshotReadOnlyError`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Optional, Tuple
+
+from ..dslog import DSLog
+from ..reuse.signatures import ReuseManager
+from ..storage.catalog import Catalog
+
+__all__ = ["SnapshotReadOnlyError", "SnapshotDSLog", "take_snapshot"]
+
+
+class SnapshotReadOnlyError(RuntimeError):
+    """A mutating DSLog call was made on a snapshot view."""
+
+
+def _read_only(name: str):
+    def method(self, *args, **kwargs):
+        raise SnapshotReadOnlyError(
+            f"{name}() is not available on a snapshot: this is a read-only "
+            "view pinned at a point in time; mutate the live DSLog instead"
+        )
+
+    method.__name__ = name
+    return method
+
+
+class SnapshotDSLog(DSLog):
+    """A read-only DSLog over a frozen copy of another log's catalog.
+
+    Constructed by :func:`take_snapshot`; shares the source's stores for
+    lazy table reads (pinned against compaction) but never mutates them.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        source: DSLog,
+        generation_vector: Tuple[int, ...],
+    ) -> None:
+        # deliberately does NOT call DSLog.__init__: a snapshot opens no
+        # stores and owns no directory — it borrows the source's
+        self.backend = "snapshot"
+        self.root = source.root
+        self.gzip = source.gzip
+        self.reuse_confirmations = source.reuse_confirmations
+        self.autosync = False
+        self.store = source.store
+        self.catalog = catalog
+        self.generation_vector = generation_vector
+        self.catalog_version = catalog.version
+        self._reuse = ReuseManager(confirmations_required=source.reuse_confirmations)
+        self._reuse_init_lock = threading.Lock()
+        self._reuse_synced_count = None
+        self._pending_reuse_state = None
+        self._graph = None
+        self._graph_lock = threading.Lock()
+        self._path_cache = {}
+        self._query_box_cache = {}
+        self._closed = False
+        self._pin_release = None
+
+    # ------------------------------------------------------------------
+    # the read API (prov_query, impact, dependencies, lineage_summary,
+    # storage_bytes, graph) is inherited unchanged — it only reads
+    # self.catalog, which is frozen
+    # ------------------------------------------------------------------
+    define_array = _read_only("define_array")
+    add_lineage = _read_only("add_lineage")
+    register_operation = _read_only("register_operation")
+    sync = _read_only("sync")
+    compact = _read_only("compact")
+
+    def snapshot(self) -> "SnapshotDSLog":
+        """Snapshotting a snapshot returns itself (it is already frozen)."""
+        return self
+
+    def close(self) -> None:
+        """Release the snapshot's store pins (idempotent).  Retired segment
+        files a compaction deferred for this snapshot are deleted once the
+        last pin drops."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pin_release is not None:
+            self._pin_release()
+            self._pin_release = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SnapshotDSLog(entries={len(self.catalog)}, "
+            f"generations={self.generation_vector})"
+        )
+
+
+def take_snapshot(log: DSLog) -> SnapshotDSLog:
+    """Build a :class:`SnapshotDSLog` of *log*'s current catalog state.
+
+    The copy happens under the catalog's mutation lock (sharded backend)
+    so concurrent writers cannot produce a torn cut; the memory and
+    segment backends are single-writer, where a plain copy is already
+    consistent.
+    """
+    lock = getattr(getattr(log, "store", None), "meta_lock", None)
+    with lock if lock is not None else contextlib.nullcontext():
+        frozen = Catalog()
+        frozen.arrays = dict(log.catalog.arrays)
+        frozen._entries = dict(log.catalog._entries)
+        frozen.operations = list(log.catalog.operations)
+        frozen.version = log.catalog.version
+        generations = _generation_vector(log)
+        release = _pin_stores(log)
+    view = SnapshotDSLog(frozen, log, generations)
+    view._pin_release = release
+    return view
+
+
+def _generation_vector(log: DSLog) -> Tuple[int, ...]:
+    store = log.store
+    if store is None:
+        return ()
+    vector = getattr(store, "generation_vector", None)
+    if vector is not None:
+        return vector()
+    return (store.manifest.generation,)
+
+
+def _pin_stores(log: DSLog) -> Optional[callable]:
+    store = log.store
+    if store is None:
+        return None
+    store.pin()
+    return store.release_pin

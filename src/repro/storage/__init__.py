@@ -1,4 +1,7 @@
-"""Storage manager internals: catalog, durable segment store, manifest."""
+"""Storage manager internals: catalog, durable segment store, manifest.
+
+The sharded multi-writer layer built on these pieces lives in
+:mod:`repro.service.shards`."""
 
 from .catalog import (
     AmbiguousLineageError,
@@ -8,6 +11,8 @@ from .catalog import (
     LineageEntry,
     OperationRecord,
 )
+from .manifest import Manifest, load_manifest, save_manifest
+from .segments import SegmentWriter, iter_records, read_record, valid_length
 from .store import (
     DEFAULT_CACHE_BYTES,
     DEFAULT_SEGMENT_MAX_BYTES,
@@ -32,4 +37,11 @@ __all__ = [
     "TableRef",
     "DEFAULT_CACHE_BYTES",
     "DEFAULT_SEGMENT_MAX_BYTES",
+    "Manifest",
+    "load_manifest",
+    "save_manifest",
+    "SegmentWriter",
+    "read_record",
+    "iter_records",
+    "valid_length",
 ]

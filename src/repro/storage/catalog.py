@@ -107,8 +107,12 @@ class Catalog:
         self.arrays: Dict[str, ArrayInfo] = {}
         self._entries: Dict[Tuple[str, str], LineageEntry] = {}
         self.operations: List[OperationRecord] = []
-        # bumped whenever the entry set changes, so path-resolution caches
-        # (DSLog.prov_query) can cheaply detect staleness
+        # the catalog's generation counter: bumped whenever the entry set
+        # changes, so path-resolution caches (DSLog.prov_query) and the
+        # incrementally maintained lineage graph (LineageGraph.refresh)
+        # can cheaply detect staleness.  Concurrent readers may observe it
+        # one bump behind the dicts — consumers must key derived state on
+        # the value read *before* resolving entries, never after.
         self.version = 0
 
     # ------------------------------------------------------------------
@@ -186,6 +190,10 @@ class Catalog:
 
     def entries(self) -> List[LineageEntry]:
         return list(self._entries.values())
+
+    def entry_pairs(self) -> List[Tuple[str, str]]:
+        """Every stored ``(input, output)`` pair, in insertion order."""
+        return list(self._entries.keys())
 
     def entry_between(self, first: str, second: str) -> Tuple[LineageEntry, str]:
         """Find the lineage entry linking two arrays in either direction.

@@ -32,6 +32,8 @@ __all__ = [
     "Manifest",
     "load_manifest",
     "save_manifest",
+    "dump_manifest",
+    "write_manifest",
     "tuplify",
 ]
 
@@ -123,21 +125,36 @@ def _json_safe(obj: Any) -> Any:
     return repr(obj)
 
 
-def save_manifest(root: Union[str, Path], manifest: Manifest) -> int:
-    """Atomically persist the manifest; returns the new generation.
+def dump_manifest(manifest: Manifest) -> str:
+    """Bump the generation and serialize the manifest to its JSON text.
+
+    Split out of :func:`save_manifest` so concurrent stores can serialize
+    under a mutation lock (the manifest's dicts and row lists must not
+    change mid-dump) while the slow part — the fsync'd file write of
+    :func:`write_manifest` — runs outside any lock.
+    """
+    manifest.generation += 1
+    return json.dumps(manifest.to_json(), separators=(",", ":"), default=_json_safe)
+
+
+def write_manifest(root: Union[str, Path], data: str) -> None:
+    """Atomically replace ``MANIFEST.json`` with pre-serialized text.
 
     The temp file is fsynced before the rename so a crash can only ever
     observe the old or the new complete manifest, never a torn one.
     """
-    manifest.generation += 1
     path = Path(root) / MANIFEST_NAME
     tmp = path.with_suffix(".json.tmp")
-    data = json.dumps(manifest.to_json(), separators=(",", ":"), default=_json_safe)
     with open(tmp, "w", encoding="utf-8") as fh:
         fh.write(data)
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+
+
+def save_manifest(root: Union[str, Path], manifest: Manifest) -> int:
+    """Atomically persist the manifest; returns the new generation."""
+    write_manifest(root, dump_manifest(manifest))
     return manifest.generation
 
 

@@ -34,6 +34,7 @@ __all__ = [
     "SegmentWriter",
     "read_record",
     "iter_records",
+    "valid_length",
 ]
 
 SEGMENT_MAGIC = b"DSEG"
@@ -126,6 +127,28 @@ def read_record(path: Union[str, Path], offset: int, length: int) -> bytes:
         if len(payload) != length:
             raise ValueError(f"{path}: truncated record payload at offset {offset}")
         return payload
+
+
+def valid_length(path: Union[str, Path]) -> int:
+    """Length of the segment's valid prefix: the offset just past the last
+    *complete* record.  Bytes beyond it are a dangling tail — a crash
+    mid-append — that no manifest can reference; recovery keeps them inert
+    (new appends land after the physical end of file) and compaction drops
+    them with the rest of the dead bytes."""
+    path = Path(path)
+    end = SEGMENT_HEADER_SIZE
+    with open(path, "rb") as fh:
+        header = fh.read(SEGMENT_HEADER_SIZE)
+        _check_header(header, path)
+        while True:
+            prefix = fh.read(_PREFIX.size)
+            if len(prefix) < _PREFIX.size:
+                return end
+            (length,) = _PREFIX.unpack(prefix)
+            payload = fh.read(length)
+            if len(payload) < length:
+                return end
+            end += _PREFIX.size + length
 
 
 def iter_records(path: Union[str, Path]) -> Iterator[Tuple[int, bytes]]:

@@ -31,14 +31,16 @@ Design points
 
 from __future__ import annotations
 
+import contextlib
+import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, NamedTuple, Optional, Tuple, Union
+from typing import Dict, List, NamedTuple, Optional, Tuple, Union
 
 from ..core.compressed import CompressedLineage
 from ..core.serialize import deserialize_table, serialize_table
 from .catalog import Catalog, LineageEntry
-from .manifest import Manifest, load_manifest, save_manifest
+from .manifest import Manifest, dump_manifest, load_manifest, write_manifest
 from .segments import SegmentWriter, read_record
 
 __all__ = [
@@ -71,11 +73,17 @@ class TableRef(NamedTuple):
 
 
 class TableCache:
-    """LRU cache of materialized tables under an in-memory byte budget."""
+    """LRU cache of materialized tables under an in-memory byte budget.
+
+    Thread-safe: the concurrent lineage service reads tables from worker,
+    reader and snapshot threads at once, and an OrderedDict being reordered
+    from two threads corrupts itself — every access holds a short mutex.
+    """
 
     def __init__(self, budget_bytes: int = DEFAULT_CACHE_BYTES) -> None:
         self.budget_bytes = int(budget_bytes)
         self._items: "OrderedDict[TableRef, CompressedLineage]" = OrderedDict()
+        self._lock = threading.Lock()
         self.current_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -85,40 +93,44 @@ class TableCache:
         return len(self._items)
 
     def get(self, ref: TableRef) -> Optional[CompressedLineage]:
-        table = self._items.get(ref)
-        if table is None:
-            self.misses += 1
-            return None
-        self._items.move_to_end(ref)
-        self.hits += 1
-        return table
+        with self._lock:
+            table = self._items.get(ref)
+            if table is None:
+                self.misses += 1
+                return None
+            self._items.move_to_end(ref)
+            self.hits += 1
+            return table
 
     def put(self, ref: TableRef, table: CompressedLineage) -> None:
-        if ref in self._items:
-            self._items.move_to_end(ref)
-            return
-        self._items[ref] = table
-        self.current_bytes += table.nbytes()
-        # evict least recently used down to the budget, but never the entry
-        # just inserted: a single oversized table would otherwise thrash
-        while self.current_bytes > self.budget_bytes and len(self._items) > 1:
-            _old_ref, old_table = self._items.popitem(last=False)
-            self.current_bytes -= old_table.nbytes()
-            self.evictions += 1
+        with self._lock:
+            if ref in self._items:
+                self._items.move_to_end(ref)
+                return
+            self._items[ref] = table
+            self.current_bytes += table.nbytes()
+            # evict least recently used down to the budget, but never the entry
+            # just inserted: a single oversized table would otherwise thrash
+            while self.current_bytes > self.budget_bytes and len(self._items) > 1:
+                _old_ref, old_table = self._items.popitem(last=False)
+                self.current_bytes -= old_table.nbytes()
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._items.clear()
-        self.current_bytes = 0
+        with self._lock:
+            self._items.clear()
+            self.current_bytes = 0
 
     def stats(self) -> dict:
-        return {
-            "tables": len(self._items),
-            "bytes": self.current_bytes,
-            "budget_bytes": self.budget_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "tables": len(self._items),
+                "bytes": self.current_bytes,
+                "budget_bytes": self.budget_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 class StoredLineageEntry:
@@ -210,6 +222,12 @@ class LineageStore:
         # refs invalidated by compaction resolve through this chain for the
         # rest of the session (the manifest itself is rewritten in place)
         self._remap: Dict[TableRef, TableRef] = {}
+        # snapshot pins: while any reader holds a pin, compaction retires old
+        # segment files instead of deleting them, so refs the reader resolved
+        # before the compaction stay readable from the original bytes
+        self._pin_lock = threading.Lock()
+        self._pins = 0
+        self._retired: List[str] = []
         self._drop_orphan_segments()
 
     # ------------------------------------------------------------------
@@ -257,17 +275,35 @@ class LineageStore:
         (``_segment_ref``) so a later reuse-state export can reference the
         already-written bytes instead of appending a duplicate record.
         """
-        writer = self._active_writer()
         payload = serialize_table(table, gzip=self.gzip)
+        return self.append_payload(payload, table=table)
+
+    def append_payload(
+        self, payload: bytes, table: Optional[CompressedLineage] = None
+    ) -> TableRef:
+        """Append pre-serialized table bytes to the active segment.
+
+        The concurrent ingest pipeline serializes (and gzips) tables outside
+        the per-shard append lock and hands only the finished payload to the
+        store, so the lock covers nothing but the file append itself.
+        """
+        writer = self._active_writer()
         offset, length = writer.append(payload)
         ref = TableRef(writer.path.name, offset, length)
-        table._segment_ref = ref
-        self.cache.put(ref, table)
+        if table is not None:
+            table._segment_ref = ref
+            table._segment_owner = self
+            self.cache.put(ref, table)
         return ref
 
     def ref_for(self, table: CompressedLineage) -> Optional[TableRef]:
         """The segment ref this table was written at (or loaded from), if
-        any, resolved through any compactions since."""
+        any, resolved through any compactions since.  A ref minted by a
+        *different* store (another shard of a sharded catalog) is not
+        returned — its ``(segment, offset)`` coordinates mean nothing in
+        this store's directory."""
+        if getattr(table, "_segment_owner", None) is not self:
+            return None
         ref = getattr(table, "_segment_ref", None)
         return self.resolve(ref) if ref is not None else None
 
@@ -278,30 +314,86 @@ class LineageStore:
         return ref
 
     def load_table(self, ref: TableRef) -> CompressedLineage:
-        ref = self.resolve(ref)
-        table = self.cache.get(ref)
-        if table is not None:
+        attempts = 0
+        while True:
+            resolved = self.resolve(ref)
+            table = self.cache.get(resolved)
+            if table is not None:
+                return table
+            try:
+                payload = read_record(
+                    self._segment_path(resolved.segment), resolved.offset, resolved.length
+                )
+            except FileNotFoundError:
+                # an unpinned reader can race a compaction: it resolved the
+                # ref before the remap was published, then the old segment
+                # was deleted.  The remap is installed BEFORE the deletion,
+                # so re-resolving now must land on the relocated record.
+                attempts += 1
+                if attempts > 3:
+                    raise
+                continue
+            table = deserialize_table(payload)
+            self.tables_deserialized += 1
+            table._segment_ref = resolved
+            table._segment_owner = self
+            self.cache.put(resolved, table)
             return table
-        payload = read_record(self._segment_path(ref.segment), ref.offset, ref.length)
-        table = deserialize_table(payload)
-        self.tables_deserialized += 1
-        table._segment_ref = ref
-        self.cache.put(ref, table)
-        return table
 
     # ------------------------------------------------------------------
     # durability
     # ------------------------------------------------------------------
-    def sync(self) -> int:
-        """Fsync appended records, then atomically publish the manifest."""
+    def sync(self, serialize_lock: Optional[threading.RLock] = None) -> int:
+        """Fsync appended records, then atomically publish the manifest.
+
+        *serialize_lock*, when given, is held only while the manifest is
+        serialized to JSON — concurrent writers mutate the manifest's row
+        lists under the same lock, and a dict resized mid-dump raises — and
+        released before the fsync'd file write, which needs no lock.
+        """
         if self._writer is not None:
             self._writer.sync()
-        return save_manifest(self.root, self.manifest)
+        with serialize_lock if serialize_lock is not None else contextlib.nullcontext():
+            data = dump_manifest(self.manifest)
+        write_manifest(self.root, data)
+        return self.manifest.generation
 
     def close(self) -> None:
         if self._writer is not None:
             self._writer.close()
             self._writer = None
+        with self._pin_lock:
+            if self._pins == 0:
+                self._delete_retired()
+
+    # ------------------------------------------------------------------
+    # snapshot pins
+    # ------------------------------------------------------------------
+    def pin(self) -> None:
+        """Hold compaction's segment-file deletion until :meth:`release_pin`."""
+        with self._pin_lock:
+            self._pins += 1
+
+    def release_pin(self) -> None:
+        with self._pin_lock:
+            if self._pins <= 0:
+                raise RuntimeError("release_pin() without a matching pin()")
+            self._pins -= 1
+            if self._pins == 0:
+                self._delete_retired()
+
+    @property
+    def pins(self) -> int:
+        return self._pins
+
+    def _delete_retired(self) -> None:
+        """Delete segment files a compaction retired while pins were held.
+        Called with ``_pin_lock`` held."""
+        for name in self._retired:
+            path = self._segment_path(name)
+            if path.exists():
+                path.unlink()
+        self._retired = []
 
     # ------------------------------------------------------------------
     # accounting + compaction
@@ -322,7 +414,7 @@ class LineageStore:
         """Payload bytes reachable from the manifest (live records only)."""
         return sum(ref["length"] for ref in self.manifest.iter_table_refs())
 
-    def compact(self) -> dict:
+    def compact(self, serialize_lock: Optional[threading.RLock] = None) -> dict:
         """Rewrite every live record into fresh segments, drop the rest.
 
         The manifest must reflect the state to preserve (callers sync
@@ -332,6 +424,11 @@ class LineageStore:
         and only then are the old segment files deleted.  A crash anywhere
         in between leaves either the old or the new generation fully
         intact.  Returns a stats dict (bytes before/after, records copied).
+
+        While snapshot readers hold pins (:meth:`pin`), the old segment
+        files are *retired* instead of deleted: refs resolved before the
+        compaction remain readable from the original bytes until the last
+        pin is released, at which point the retired files are removed.
         """
         bytes_before = self.segment_bytes()
         old_segments = list(self.manifest.segments)
@@ -353,13 +450,23 @@ class LineageStore:
                 mapping[old_ref] = new_ref
                 copied += 1
             ref_dict.update(new_ref.to_json())
-        self.sync()
+        self.sync(serialize_lock=serialize_lock)
 
-        for name in old_segments:
-            path = self._segment_path(name)
-            if path.exists():
-                path.unlink()
+        # publish the remap BEFORE deleting the old files: a concurrent
+        # reader that resolves a stale ref from here on lands on the new
+        # address, and one caught mid-read when the old file disappears
+        # re-resolves through this remap (load_table's retry loop)
         self._remap.update(mapping)
+        with self._pin_lock:
+            if self._pins > 0:
+                self._retired.extend(old_segments)
+                retired = True
+            else:
+                for name in old_segments:
+                    path = self._segment_path(name)
+                    if path.exists():
+                        path.unlink()
+                retired = False
         self.cache.clear()
         return {
             "records_copied": copied,
@@ -368,6 +475,7 @@ class LineageStore:
             "bytes_before": bytes_before,
             "bytes_after": self.segment_bytes(),
             "reclaimed_bytes": bytes_before - self.segment_bytes(),
+            "segments_retired": len(old_segments) if retired else 0,
         }
 
 

@@ -84,12 +84,15 @@ class TestShortestPaths:
         memoized = log.graph.shortest_paths("A", "C")
         assert first == memoized
 
-    def test_graph_rebuilt_after_catalog_change(self):
+    def test_graph_refreshed_incrementally_after_catalog_change(self):
         log = chain_log(["A", "B", "C"])
-        stale = log.graph
+        graph = log.graph
+        assert graph.shortest_path("A", "C") == ["A", "B", "C"]
         log.define_array("D", (6,))
         log.add_lineage("C", "D", relation=elementwise((6,), "C", "D"))
-        assert log.graph is not stale
+        # same instance, incrementally refreshed — not rebuilt from scratch
+        assert log.graph is graph
+        assert graph.version == log.catalog.version
         assert log.graph.shortest_path("A", "D") == ["A", "B", "C", "D"]
 
 
@@ -204,3 +207,64 @@ class TestQueryResultUnion:
         log = diamond_log()
         result = log.prov_query(["A", "D"], [(3,)])
         assert len(result.hops) == 4  # two hops per planned path
+
+
+class TestIncrementalRefresh:
+    """The graph is memoized on the catalog's generation counter and folds
+    new entries in incrementally instead of rebuilding."""
+
+    def test_unchanged_catalog_is_a_noop(self):
+        log = chain_log(["A", "B", "C"])
+        graph = log.graph
+        refreshes = graph.refresh_count
+        for _ in range(5):
+            assert log.graph is graph
+        assert graph.refresh_count == refreshes  # version key short-circuits
+
+    def test_new_entry_invalidates_path_memo(self):
+        log = chain_log(["A", "B", "C"])
+        graph = log.graph
+        assert graph.shortest_paths("A", "C") == [["A", "B", "C"]]
+        assert ("A", "C") in graph._path_memo
+        # add a shortcut edge: the memoized 2-hop path would now be wrong
+        log.add_lineage("A", "C", relation=elementwise((6,), "A", "C"))
+        assert log.graph is graph
+        assert graph.shortest_paths("A", "C") == [["A", "C"]]
+
+    def test_refresh_picks_up_arrays_defined_after_build(self):
+        log = chain_log(["A", "B"])
+        graph = log.graph
+        log.define_array("C", (6,))
+        # arrays alone don't bump the entry version, but refresh still sees
+        # them (the old rebuild-on-version design missed this case)
+        assert log.graph.successors("C") == []
+        log.add_lineage("B", "C", relation=elementwise((6,), "B", "C"))
+        assert log.graph.shortest_path("A", "C") == ["A", "B", "C"]
+        assert log.graph is graph
+
+    def test_incremental_equals_fresh_build(self):
+        from repro.graph import LineageGraph
+
+        names = [f"N{i}" for i in range(8)]
+        log = chain_log(names[:4])
+        graph = log.graph
+        for name in names[4:]:
+            log.define_array(name, (6,))
+        for a, b in zip(names[3:], names[4:]):
+            log.add_lineage(a, b, relation=elementwise((6,), a, b))
+        log.add_lineage("N0", "N5", relation=elementwise((6,), "N0", "N5"))
+        refreshed = log.graph
+        fresh = LineageGraph(log.catalog)
+        assert refreshed._out == fresh._out
+        assert refreshed._in == fresh._in
+        assert refreshed.shortest_paths("N0", "N7") == fresh.shortest_paths("N0", "N7")
+        assert refreshed.lineage_summary() == fresh.lineage_summary()
+
+    def test_replace_bumps_version_but_keeps_adjacency(self):
+        log = chain_log(["A", "B", "C"])
+        graph = log.graph
+        out_before = {k: list(v) for k, v in graph._out.items()}
+        log.add_lineage("A", "B", relation=elementwise((6,), "A", "B"), replace=True)
+        assert log.graph is graph
+        assert graph.version == log.catalog.version
+        assert graph._out == out_before  # same edges, no duplicates

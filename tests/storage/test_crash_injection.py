@@ -1,0 +1,177 @@
+"""Crash-injection tests for manifest atomicity and segment recovery.
+
+Simulates the two crash windows of the durability protocol:
+
+* a **torn temp-file write** — the process died while writing
+  ``MANIFEST.json.tmp``, before the atomic rename: reopening must see the
+  last *published* generation, with the partial temp file ignored;
+* a **dangling segment tail** — the process died mid-append, after the
+  manifest was published: the published records must stay readable, the
+  torn tail bytes inert, new appends must land safely after them, and
+  compaction must reclaim them.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import DSLog
+from repro.core.relation import LineageRelation
+from repro.storage.manifest import MANIFEST_NAME, load_manifest
+from repro.storage.segments import SEGMENT_HEADER_SIZE, iter_records, valid_length
+
+SHAPE = (4,)
+
+
+def elementwise(in_name, out_name, shape=SHAPE):
+    pairs = [(cell, cell) for cell in np.ndindex(*shape)]
+    return LineageRelation.from_pairs(
+        pairs, shape, shape, in_name=in_name, out_name=out_name
+    )
+
+
+def build(root, n, backend="segment", **kwargs):
+    log = DSLog(root, backend=backend, autosync=False, **kwargs)
+    names = [f"A{i}" for i in range(n + 1)]
+    for name in names:
+        log.define_array(name, SHAPE)
+    for a, b in zip(names, names[1:]):
+        log.add_lineage(a, b, relation=elementwise(a, b), op_name=f"op_{a}")
+    log.close()
+    return names
+
+
+class TestTornManifestTemp:
+    def test_partial_temp_write_recovers_to_published_generation(self, tmp_path):
+        root = tmp_path / "db"
+        names = build(root, 5)
+        published = load_manifest(root).generation
+
+        # crash mid-write of the next manifest: a torn, non-JSON temp file
+        (root / "MANIFEST.json.tmp").write_bytes(b'{"format": "dslog-seg')
+
+        reopened = DSLog.load(root, autosync=False)
+        assert reopened.store.manifest.generation == published
+        assert len(reopened.catalog) == 5
+        assert reopened.prov_query([names[0], names[2]], [(1,)]).to_cells() == {(1,)}
+        # the recovered store keeps publishing cleanly past the torn temp
+        reopened.define_array("B", SHAPE)
+        reopened.add_lineage(names[5], "B", relation=elementwise(names[5], "B"))
+        reopened.sync()
+        assert load_manifest(root).generation == published + 1
+        reopened.close()
+
+    def test_temp_never_mistaken_for_manifest(self, tmp_path):
+        root = tmp_path / "db"
+        build(root, 2)
+        manifest_before = (root / MANIFEST_NAME).read_text()
+        # even a *valid-looking* temp with a higher generation must be ignored
+        fake = json.loads(manifest_before)
+        fake["generation"] = 999
+        (root / "MANIFEST.json.tmp").write_text(json.dumps(fake))
+        reopened = DSLog.load(root)
+        assert reopened.store.manifest.generation == json.loads(manifest_before)["generation"]
+        reopened.close()
+
+    def test_sharded_one_shard_torn(self, tmp_path):
+        root = tmp_path / "db"
+        names = build(root, 6, backend="sharded", num_shards=3)
+        generations = [load_manifest(root / f"shard-{i:02d}").generation for i in range(3)]
+        (root / "shard-01" / "MANIFEST.json.tmp").write_bytes(b"\x00garbage")
+        reopened = DSLog.load(root)
+        assert list(reopened.store.generation_vector()) == generations
+        assert len(reopened.catalog) == 6
+        assert reopened.prov_query([names[0], names[3]], [(2,)]).to_cells() == {(2,)}
+        reopened.close()
+
+
+class TestDanglingSegmentTail:
+    def _torn_append(self, segment_path):
+        """Append a record prefix promising more bytes than follow."""
+        with open(segment_path, "ab") as fh:
+            fh.write((5000).to_bytes(4, "little"))
+            fh.write(b"only-a-few-bytes")
+
+    def test_reopen_recovers_and_new_appends_land_after_tail(self, tmp_path):
+        root = tmp_path / "db"
+        names = build(root, 4)
+        manifest = load_manifest(root)
+        segment = root / manifest.segments[-1]
+        complete = valid_length(segment)
+        self._torn_append(segment)
+        assert valid_length(segment) == complete  # tail is not a record
+        size_with_tail = segment.stat().st_size
+        assert size_with_tail > complete
+
+        reopened = DSLog.load(root)
+        assert reopened.store.manifest.generation == manifest.generation
+        assert len(reopened.catalog) == 4
+        # every published record still readable
+        assert reopened.catalog.materialize_all() == 8
+        # new ingest appends after the physical end — never over the tail —
+        # and remains readable
+        reopened.define_array("B", SHAPE)
+        reopened.add_lineage(names[4], "B", relation=elementwise(names[4], "B"))
+        reopened.sync()
+        entry = reopened.catalog.entry(names[4], "B")
+        assert entry.backward_ref.offset >= size_with_tail
+        reopened.close()
+
+        again = DSLog.load(root)
+        assert len(again.catalog) == 5
+        assert again.prov_query([names[4], "B"], [(3,)]).to_cells() == {(3,)}
+        again.close()
+
+    def test_compact_reclaims_the_tail(self, tmp_path):
+        root = tmp_path / "db"
+        build(root, 4)
+        manifest = load_manifest(root)
+        segment = root / manifest.segments[-1]
+        self._torn_append(segment)
+        tail_bytes = segment.stat().st_size - valid_length(segment)
+        assert tail_bytes > 0
+
+        log = DSLog.load(root)
+        stats = log.compact()
+        assert stats["reclaimed_bytes"] >= tail_bytes
+        for name in log.store.manifest.segments:
+            path = root / name
+            assert valid_length(path) == path.stat().st_size  # no tails left
+        assert len(log.catalog) == 4
+        log.close()
+
+    def test_unreferenced_segment_dropped_on_reopen(self, tmp_path):
+        """A crash between writing a fresh segment and publishing the
+        manifest leaves a whole orphan file; reopening removes it."""
+        root = tmp_path / "db"
+        build(root, 3)
+        orphan = root / "segment-000099.seg"
+        orphan.write_bytes(b"DSEG" + (1).to_bytes(2, "little") + b"leftover")
+        reopened = DSLog.load(root)
+        assert not orphan.exists()
+        assert len(reopened.catalog) == 3
+        reopened.close()
+
+    def test_iter_records_stops_at_tail(self, tmp_path):
+        root = tmp_path / "db"
+        build(root, 3)
+        manifest = load_manifest(root)
+        segment = root / manifest.segments[-1]
+        records_before = list(iter_records(segment))
+        self._torn_append(segment)
+        assert list(iter_records(segment)) == records_before
+        assert records_before[0][0] == SEGMENT_HEADER_SIZE
+
+    def test_sharded_tail_in_one_shard(self, tmp_path):
+        root = tmp_path / "db"
+        names = build(root, 8, backend="sharded", num_shards=2)
+        shard_dir = root / "shard-01"
+        manifest = load_manifest(shard_dir)
+        assert manifest.segments, "expected entries hashed to shard 1"
+        self._torn_append(shard_dir / manifest.segments[-1])
+        reopened = DSLog.load(root)
+        assert len(reopened.catalog) == 8
+        assert reopened.catalog.materialize_all() == 16
+        assert reopened.prov_query([names[0], names[4]], [(1,)]).to_cells() == {(1,)}
+        reopened.close()
