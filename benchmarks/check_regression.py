@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: compare a fresh pytest-benchmark JSON run
+against a committed ``BENCH_*.json`` baseline.
+
+Each benchmark is matched by its ``fullname`` and compared on a stats
+field (mean seconds by default); the job fails when
+
+    fresh > baseline * tolerance
+
+for any matched benchmark, or when a baseline benchmark is missing from
+the fresh run (a silently dropped benchmark is a dead gate — pass
+``--allow-missing`` for intentionally partial runs).  Benchmarks only in
+the fresh run never fail: new benchmarks land before their baseline does.
+
+The tolerance (default 1.5×) absorbs runner noise; CI passes a wider one
+because the committed baselines were captured on a different machine
+class than the hosted runners.  Ratio-style acceptance criteria (cached
+≥ 5× uncached, fan-out ≥ 1.5×) live *inside* the benchmark suites, where
+they are machine-independent; this gate guards absolute walltime drift.
+
+Usage:
+    python benchmarks/check_regression.py FRESH.json \\
+        --baseline benchmarks/BENCH_post_serving.json [--tolerance 1.5] \\
+        [--metric mean] [--allow-missing]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+DEFAULT_TOLERANCE = 1.5
+DEFAULT_METRIC = "mean"
+
+
+def load_benchmarks(path: Path, metric: str = DEFAULT_METRIC) -> Dict[str, float]:
+    """``{fullname: stats[metric]}`` for every benchmark in a JSON file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    out: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench["name"]
+        stats = bench.get("stats") or {}
+        if metric in stats:
+            out[name] = float(stats[metric])
+    return out
+
+
+def compare(
+    baseline: Dict[str, float],
+    fresh: Dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[str], List[str], List[str]]:
+    """Returns ``(regressions, missing, report_lines)``."""
+    regressions: List[str] = []
+    missing: List[str] = []
+    report: List[str] = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in fresh:
+            missing.append(name)
+            report.append(f"MISSING  {name}  (baseline {base * 1000:.2f} ms)")
+            continue
+        current = fresh[name]
+        ratio = current / base if base > 0 else float("inf")
+        verdict = "ok" if current <= base * tolerance else "REGRESSION"
+        report.append(
+            f"{verdict:10s} {name}  {base * 1000:.2f} ms -> {current * 1000:.2f} ms "
+            f"({ratio:.2f}x, limit {tolerance:.2f}x)"
+        )
+        if verdict != "ok":
+            regressions.append(name)
+    for name in sorted(set(fresh) - set(baseline)):
+        report.append(f"new        {name}  {fresh[name] * 1000:.2f} ms (no baseline)")
+    return regressions, missing, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="benchmark JSON of the fresh run")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        action="append",
+        required=True,
+        help="committed BENCH_*.json baseline (repeatable)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"fail when fresh > baseline * tolerance (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--metric", default=DEFAULT_METRIC, help="stats field to compare (default mean)"
+    )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="do not fail when a baseline benchmark is absent from the fresh run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tolerance <= 0:
+        parser.error("--tolerance must be positive")
+    try:
+        fresh = load_benchmarks(args.fresh, args.metric)
+        baseline: Dict[str, float] = {}
+        for path in args.baseline:
+            baseline.update(load_benchmarks(path, args.metric))
+    except (OSError, json.JSONDecodeError, KeyError) as error:
+        print(f"check_regression: cannot load benchmark JSON: {error}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print("check_regression: no baseline benchmarks found", file=sys.stderr)
+        return 2
+
+    regressions, missing, report = compare(baseline, fresh, args.tolerance)
+    print(f"comparing {len(fresh)} fresh vs {len(baseline)} baseline benchmarks "
+          f"(metric {args.metric!r}, tolerance {args.tolerance:.2f}x)")
+    for line in report:
+        print(" ", line)
+
+    failed = bool(regressions) or (bool(missing) and not args.allow_missing)
+    if regressions:
+        print(f"FAIL: {len(regressions)} regression(s): {', '.join(regressions)}")
+    if missing and not args.allow_missing:
+        print(
+            f"FAIL: {len(missing)} baseline benchmark(s) missing from the fresh run: "
+            f"{', '.join(missing)} (use --allow-missing for partial runs)"
+        )
+    if not failed:
+        print("OK: no regressions")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,7 @@ much), which is the paper's actual claim.
 import pytest
 
 from repro.baselines.stores import all_baseline_stores
-from repro.experiments.common import provrc_bytes, provrc_gzip_bytes
+from repro.experiments.common import provrc_bytes
 from repro.experiments.table7_compression import run as run_table7
 from repro.workloads.operations import build_workload, compression_workloads
 

@@ -112,7 +112,7 @@ def main() -> None:
           f"{log.reuse.stats()['base_entries']} reuse signatures, "
           f"backend={log.backend}")
     assert len(log.catalog) == WRITERS * STEPS
-    result = log.prov_query([f"p2_s0", f"p2_s{STEPS}"], [(3, 3)])
+    result = log.prov_query(["p2_s0", f"p2_s{STEPS}"], [(3, 3)])
     print(f"forward query across p2's whole pipeline: {len(result.to_cells())} cells")
     log.close()
 

@@ -15,6 +15,10 @@ Public entry points
 * :class:`repro.LineageService` — the concurrent ingest service: sharded
   multi-writer storage, async compression off the caller's path, group
   commit and snapshot-isolated readers.
+* :class:`repro.QueryExecutor` / :class:`repro.LineageServer` /
+  :class:`repro.LineageClient` — the serving tier: parallel shard
+  fan-out behind a generation-keyed result cache, exposed over a stdlib
+  HTTP JSON API (``dslog.serve(port)`` / ``LineageClient.connect(url)``).
 * :mod:`repro.baselines` — the storage/query baselines of the evaluation.
 * :mod:`repro.workloads` — workload and dataset generators.
 * :mod:`repro.experiments` — one harness per paper table/figure.
@@ -26,10 +30,17 @@ from .core.query import CellBoxSet, QueryResult
 from .core.relation import LineageRelation
 from .dslog import DSLog
 from .graph import LineageGraph
-from .service import IngestTicket, LineageService, SnapshotDSLog
+from .service import (
+    IngestTicket,
+    LineageClient,
+    LineageServer,
+    LineageService,
+    QueryExecutor,
+    SnapshotDSLog,
+)
 from .storage.store import LineageStore
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "DSLog",
@@ -39,6 +50,9 @@ __all__ = [
     "LineageService",
     "IngestTicket",
     "SnapshotDSLog",
+    "QueryExecutor",
+    "LineageServer",
+    "LineageClient",
     "CompressedLineage",
     "CellBoxSet",
     "QueryResult",

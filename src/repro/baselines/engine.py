@@ -14,8 +14,7 @@ This module reproduces both strategies on top of the baseline stores:
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np

@@ -23,7 +23,7 @@ shape-dependent like ``cross``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Tuple
 
 import numpy as np
 
@@ -249,8 +249,11 @@ def _complex_ops() -> List[CatalogOp]:
             )
         )
 
-    full = lambda x: full_reduction_lineage(np.asarray(x).shape)
-    cum = lambda x: cumulative_lineage((np.asarray(x).size,), axis=0)
+    def full(x):
+        return full_reduction_lineage(np.asarray(x).shape)
+
+    def cum(x):
+        return cumulative_lineage((np.asarray(x).size,), axis=0)
 
     # reductions (value independent lineage: every cell contributes)
     for name, func in [

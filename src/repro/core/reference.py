@@ -8,7 +8,7 @@ query strategy of the evaluation.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, Sequence, Set, Tuple
 
 from .relation import LineageRelation
 

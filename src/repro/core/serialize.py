@@ -14,7 +14,7 @@ import json
 import struct
 import zlib
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Optional, Union
 
 import numpy as np
 

@@ -41,9 +41,25 @@ from __future__ import annotations
 
 import threading
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .service.query import QueryExecutor
+    from .service.server import LineageServer
 
 from .core.compressed import CompressedLineage
 from .core.query import CellBoxSet, QueryResult, execute_path
@@ -721,6 +737,50 @@ class DSLog:
         stats = self.store.compact()
         self._pending_reuse_state = self.store.manifest.reuse
         return stats
+
+    def executor(
+        self,
+        max_workers: Optional[int] = None,
+        cache_entries: Optional[int] = None,
+    ) -> "QueryExecutor":
+        """A scale-out query executor over this catalog: parallel per-shard
+        fan-out behind a generation-keyed result cache
+        (:mod:`repro.service.query`).  The caller owns it (close it, or use
+        it as a context manager)."""
+        from .service.query import DEFAULT_CACHE_ENTRIES, QueryExecutor
+
+        return QueryExecutor(
+            self,
+            max_workers=max_workers,
+            cache_entries=DEFAULT_CACHE_ENTRIES if cache_entries is None else cache_entries,
+        )
+
+    def serve(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        max_workers: Optional[int] = None,
+        cache_entries: Optional[int] = None,
+        start: bool = True,
+    ) -> "LineageServer":
+        """Expose this catalog over the HTTP JSON API
+        (:mod:`repro.service.server`) on a background thread.
+
+        ``port=0`` picks a free port; read it (or the full URL) off the
+        returned server.  Pass ``start=False`` to get an unstarted server
+        for ``serve_forever()`` on a dedicated process's main thread.
+        """
+        from .service.query import DEFAULT_CACHE_ENTRIES
+        from .service.server import LineageServer
+
+        server = LineageServer(
+            self,
+            host=host,
+            port=port,
+            max_workers=max_workers,
+            cache_entries=DEFAULT_CACHE_ENTRIES if cache_entries is None else cache_entries,
+        )
+        return server.start() if start else server
 
     def snapshot(self) -> "DSLog":
         """A read-only, snapshot-isolated view of the catalog as of now.

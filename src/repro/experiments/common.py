@@ -3,10 +3,8 @@
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
-from typing import Dict, Iterable, List, Sequence
+from typing import Iterable, List, Sequence
 
-from ..core.compressed import CompressedLineage
 from ..core.provrc import compress
 from ..core.relation import LineageRelation
 from ..core.serialize import serialize_compressed, serialize_compressed_gzip

@@ -14,7 +14,7 @@ from __future__ import annotations
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..baselines.stores import all_baseline_stores
 from ..capture.analytic import axis_reduction_lineage, elementwise_lineage

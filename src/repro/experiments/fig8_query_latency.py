@@ -10,12 +10,11 @@ query issue to response.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..baselines.stores import ColumnarGzipStore, ColumnarStore, RawStore, TurboRCStore
-from ..core.query import CellBoxSet
 from ..workloads.pipelines import Pipeline, image_pipeline, relational_pipeline, resnet_block_pipeline
 from .common import format_table
 

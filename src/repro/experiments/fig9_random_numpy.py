@@ -11,7 +11,7 @@ per system, matching the interval bars of the figure.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -9,9 +9,8 @@ statistics as the paper's manual inspection.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
-import numpy as np
 
 from ..workloads.kaggle import generate_workflows, summarize
 from .common import format_table

@@ -14,14 +14,13 @@ The harness then tallies, per category (element-wise / complex):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..capture.numpy_catalog import CatalogOp, build_catalog
 from ..core.provrc import compress
 from ..core.serialize import serialize_compressed
-from ..reuse.reshape import generalize
 from ..reuse.signatures import OperationSignature, ReuseManager, tables_equal
 from .common import format_table
 

@@ -121,6 +121,13 @@ class LineageGraph:
         self._check(name)
         return list(self._in[name])
 
+    def edges(self) -> List[Tuple[str, str]]:
+        """Every stored lineage edge as a sorted ``(input, output)`` list —
+        the full DAG, so remote clients (the HTTP ``/graph/summary``
+        endpoint) can reconstruct structure the closures alone cannot."""
+        with self._lock:
+            return sorted(self._known_pairs)
+
     def fan_out(self, name: str) -> int:
         self._check(name)
         return len(self._out[name])

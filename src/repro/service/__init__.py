@@ -12,9 +12,24 @@ ingest and snapshot-isolated readers.
 * :mod:`repro.service.snapshot` — :class:`SnapshotDSLog`: read-only
   catalog views pinned at a per-shard generation vector, isolated from
   concurrent ingest and compaction.
+* :mod:`repro.service.query` — :class:`QueryExecutor`: the scale-out read
+  path — parallel per-shard fan-out over a thread pool behind a
+  generation-keyed :class:`ResultCache` (writers invalidate exactly the
+  shards they touched).
+* :mod:`repro.service.server` — :class:`LineageServer` /
+  :class:`LineageClient`: the catalog over a stdlib HTTP JSON API
+  (``/query``, ``/graph/impact``, ``/graph/dependencies``,
+  ``/graph/summary``, ``/healthz``).
 """
 
 from .pipeline import IngestTicket, LineageService, ServiceClosedError
+from .query import QueryExecutor, ResultCache
+from .server import (
+    LineageClient,
+    LineageConnectionError,
+    LineageServer,
+    LineageServerError,
+)
 from .shards import (
     DEFAULT_NUM_SHARDS,
     ShardedCatalog,
@@ -34,4 +49,10 @@ __all__ = [
     "SnapshotDSLog",
     "SnapshotReadOnlyError",
     "take_snapshot",
+    "QueryExecutor",
+    "ResultCache",
+    "LineageServer",
+    "LineageClient",
+    "LineageServerError",
+    "LineageConnectionError",
 ]

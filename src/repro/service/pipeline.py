@@ -428,6 +428,18 @@ class LineageService:
         applied* right now (durability may lag by one commit window)."""
         return self.log.snapshot()
 
+    def serve(self, port: int = 0, host: str = "127.0.0.1", **kwargs):
+        """Expose this service's catalog over the HTTP JSON API
+        (:mod:`repro.service.server`) on a background thread.  Readers see
+        *applied* state — the same cut snapshots see — and the result
+        cache invalidates per shard as the workers land writes."""
+        return self.log.serve(port=port, host=host, **kwargs)
+
+    def executor(self, **kwargs):
+        """A :class:`~repro.service.query.QueryExecutor` over this
+        service's catalog (for in-process scale-out reads)."""
+        return self.log.executor(**kwargs)
+
     def compact(self, shard: Optional[int] = None) -> dict:
         """Publish pending state, then compact one shard (or all) while
         ingest into other shards proceeds."""

@@ -1,0 +1,444 @@
+"""The scale-out query executor (``QueryExecutor``) and its result cache.
+
+PR 3 made the *write* path concurrent; this module is the read-side
+counterpart: one executor object that plans a ``prov_query`` / ``impact`` /
+``dependencies`` request against the catalog, fans the per-shard work out
+over a thread pool, and fronts everything with a generation-keyed LRU so a
+hot query never re-runs the θ-join chain at all.
+
+Execution pipeline
+------------------
+1. **Plan** — an explicit multi-hop path resolves hop-by-hop through
+   ``entry_between``; a two-array path with no direct entry is planned by
+   the lineage graph (shortest stored path(s), diamond paths unioned).
+2. **Fan out** — every backing store is snapshot-pinned (compaction retires
+   rather than deletes segments while the query reads), then the hop
+   tables are prefetched *per shard* on the thread pool: shards are
+   independent single-writer stores, so their segment reads, gunzips and
+   deserializations overlap instead of queueing behind one another.  With
+   several planned paths, the θ-join chains themselves also run in
+   parallel, one task per path.
+3. **Merge** — per-path :class:`~repro.core.query.QueryResult`\\ s are
+   combined with the existing ``QueryResult.union``.
+
+Result cache
+------------
+:class:`ResultCache` is an LRU keyed on the *query-box digest* — a stable
+hash of the path, the query boxes and the merge flag — whose entries are
+validated against a *dependency vector*: the ``(shard, version)`` pairs the
+result was computed from.  The sharded catalog keeps one applied-mutation
+counter per shard (:attr:`ShardedCatalog.shard_version_vector`), so
+
+* a **direct path query** depends only on the home shards of its hop
+  entries: writers invalidate exactly the shards they touched, and ingest
+  into any other shard leaves the cached result valid;
+* a **graph-planned query** (and ``impact`` / ``dependencies`` /
+  ``lineage_summary``) depends on the whole edge set, so it is keyed on
+  the full vector — any shard's write invalidates it, which is the only
+  correct answer when a new entry can create a shorter path.
+
+The memory and segment backends have no shards; their dependency vector is
+the catalog's single generation counter, i.e. any write invalidates.
+
+The dependency vector is read *before* entries are resolved (the same
+read-version-first protocol as ``DSLog.prov_query``): a writer landing
+mid-execution makes the cached entry validate as stale on the next lookup
+rather than ever serving a result fresher than its key claims.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.query import QueryResult, execute_path
+
+__all__ = ["ResultCache", "QueryExecutor", "DEFAULT_CACHE_ENTRIES"]
+
+DEFAULT_CACHE_ENTRIES = 256
+
+# (shard index, applied-version) pairs a cached result was computed from
+DepVector = Tuple[Tuple[int, int], ...]
+
+
+class ResultCache:
+    """LRU of query results keyed on digest, validated by shard versions.
+
+    Thread-safe: the HTTP server's handler threads and the executor's own
+    pool all go through here.  An entry *hits* only when every shard it
+    depends on still has the version it was computed at; otherwise it is
+    dropped (counted as an invalidation) and the caller recomputes.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+        self.max_entries = int(max_entries)
+        self._items: "OrderedDict[bytes, Tuple[DepVector, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def lookup(self, key: bytes, live_versions: Dict[int, int]) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; *live_versions* maps shard → current
+        applied version (shards absent from the map never invalidate)."""
+        if not self.enabled:
+            return False, None
+        with self._lock:
+            item = self._items.get(key)
+            if item is None:
+                self.misses += 1
+                return False, None
+            deps, value = item
+            for shard, version in deps:
+                if live_versions.get(shard, version) != version:
+                    del self._items[key]
+                    self.invalidations += 1
+                    self.misses += 1
+                    return False, None
+            self._items.move_to_end(key)
+            self.hits += 1
+            return True, value
+
+    def store(self, key: bytes, deps: DepVector, value: Any) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._items[key] = (deps, value)
+            self._items.move_to_end(key)
+            while len(self._items) > self.max_entries:
+                self._items.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._items.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._items),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+            }
+
+
+class QueryExecutor:
+    """Plan, fan out and cache read queries over a DSLog catalog.
+
+    Parameters
+    ----------
+    log:
+        Any :class:`~repro.dslog.DSLog` (memory, segment or sharded
+        backend; a snapshot view works too).  The executor only reads.
+    max_workers:
+        Thread-pool width for per-shard prefetch, per-path execution and
+        :meth:`map_queries`.  ``1`` disables parallelism (the sequential
+        baseline the serving benchmark compares against).  Defaults to
+        ``min(8, max(2, os.cpu_count()))``.
+    cache_entries:
+        Capacity of the :class:`ResultCache`; ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        log,
+        max_workers: Optional[int] = None,
+        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+    ) -> None:
+        if max_workers is None:
+            max_workers = min(8, max(2, os.cpu_count() or 1))
+        self.log = log
+        self.max_workers = max(1, int(max_workers))
+        self.cache = ResultCache(cache_entries)
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="lineage-query"
+            )
+            if self.max_workers > 1
+            else None
+        )
+        self._closed = False
+        self._stats_lock = threading.Lock()
+        self.queries = 0
+        self.parallel_loads = 0
+        self.parallel_paths = 0
+
+    # ------------------------------------------------------------------
+    # dependency vectors
+    # ------------------------------------------------------------------
+    def _live_versions(self) -> Dict[int, int]:
+        """Current applied version of every shard (pseudo-shard 0 holds the
+        catalog generation counter on unsharded backends)."""
+        catalog = self.log.catalog
+        vector = getattr(catalog, "shard_version_vector", None)
+        if vector is not None:
+            return dict(enumerate(vector()))
+        return {0: catalog.version}
+
+    def _full_deps(self, live: Dict[int, int]) -> DepVector:
+        return tuple(sorted(live.items()))
+
+    def _path_deps(self, live: Dict[int, int], path: Sequence[str]) -> DepVector:
+        """Dependency vector of a direct path: the home shards of its hop
+        entries only — the precision that lets writers invalidate exactly
+        the shards they touched.  Each hop is resolved to its *stored*
+        orientation first: shard routing hashes the ``(input, output)``
+        pair, so a backward hop queried as ``(out, in)`` would otherwise
+        key on the wrong shard and survive a replace of its entry."""
+        catalog = self.log.catalog
+        entry_shard = getattr(catalog, "entry_shard", None)
+        if entry_shard is None:
+            return self._full_deps(live)
+        shards = set()
+        for first, second in zip(path, path[1:]):
+            entry, _ = catalog.entry_between(first, second)
+            shards.add(entry_shard((entry.in_name, entry.out_name)))
+        return tuple((shard, live[shard]) for shard in sorted(shards))
+
+    # ------------------------------------------------------------------
+    # digests
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _digest(kind: str, *parts: bytes) -> bytes:
+        h = hashlib.blake2b(digest_size=16)
+        h.update(kind.encode("utf-8"))
+        for part in parts:
+            h.update(b"\x1f")
+            h.update(part)
+        return h.digest()
+
+    def _query_digest(self, path: Sequence[str], box_set, merge: bool) -> bytes:
+        return self._digest(
+            "prov_query",
+            "\x00".join(path).encode("utf-8"),
+            repr(box_set.shape).encode("utf-8"),
+            box_set.lo.tobytes(),
+            box_set.hi.tobytes(),
+            b"1" if merge else b"0",
+        )
+
+    # ------------------------------------------------------------------
+    # the read API
+    # ------------------------------------------------------------------
+    def query(self, path: Sequence[str], query_cells, merge: bool = True):
+        """Run one lineage query; returns ``(QueryResult, served_from_cache)``.
+
+        Semantics match :meth:`DSLog.prov_query` exactly (including graph
+        planning of two-array paths); the differences are the cache in
+        front and the parallel fan-out behind.
+        """
+        return self._query(path, query_cells, merge, parallel=True)
+
+    def prov_query(self, path: Sequence[str], query_cells, merge: bool = True) -> QueryResult:
+        """:meth:`query` without the cache flag — drop-in for ``DSLog.prov_query``."""
+        return self.query(path, query_cells, merge=merge)[0]
+
+    def map_queries(self, requests: Sequence[Tuple[Sequence[str], Any]]):
+        """Run a batch of ``(path, query_cells)`` requests, fanned out over
+        the pool (one task per query, each executed sequentially inside its
+        task so batch tasks never wait on nested pool slots).  Returns
+        results in order."""
+        self._check_open()
+        if self._pool is None or len(requests) <= 1:
+            return [self._query(path, cells, True, parallel=True)[0] for path, cells in requests]
+        futures = [
+            self._pool.submit(self._query, path, cells, True, False)
+            for path, cells in requests
+        ]
+        return [future.result()[0] for future in futures]
+
+    def _query(self, path: Sequence[str], query_cells, merge: bool, parallel: bool):
+        """The one cache + plan + fan-out pipeline behind every query entry
+        point; *parallel* toggles the pool fan-out (False inside batch
+        tasks, which already run on the pool)."""
+        self._check_open()
+        path = list(path)
+        if len(path) < 2:
+            raise ValueError("a query path needs at least two arrays")
+        for name in path:
+            self.log.catalog.array(name)  # raises KeyError for unknown arrays
+        box_set = self.log._as_box_set(path[0], query_cells)
+        key = self._query_digest(path, box_set, merge)
+
+        # read the dependency versions BEFORE resolving entries (see the
+        # module docstring: a mid-execution writer must make the cached
+        # entry stale, never fresher than its key)
+        live = self._live_versions()
+        hit, value = self.cache.lookup(key, live)
+        if hit:
+            return value, True
+
+        with self._stats_lock:
+            self.queries += 1
+        pin = self._pin_stores()
+        try:
+            paths, direct = self._plan(path)
+            deps = self._path_deps(live, paths[0]) if direct else self._full_deps(live)
+            result = self._execute_paths(paths, box_set, merge, parallel=parallel)
+        finally:
+            if pin is not None:
+                pin()
+        self.cache.store(key, deps, result)
+        return result, False
+
+    def impact(self, name: str) -> Dict[str, int]:
+        """Cached :meth:`DSLog.impact` (keyed on the full shard vector —
+        any new entry can extend the closure)."""
+        return self._graph_cached("impact", name, lambda: self.log.impact(name))
+
+    def dependencies(self, name: str) -> Dict[str, int]:
+        """Cached :meth:`DSLog.dependencies`."""
+        return self._graph_cached(
+            "dependencies", name, lambda: self.log.dependencies(name)
+        )
+
+    def lineage_summary(self) -> dict:
+        """Cached :meth:`DSLog.lineage_summary`."""
+        return self._graph_cached("summary", "", self.log.lineage_summary)
+
+    def graph_edges(self):
+        """Cached edge list of the lineage DAG (sorted ``(in, out)`` pairs)."""
+        return self._graph_cached("edges", "", lambda: self.log.graph.edges())
+
+    def _graph_cached(self, kind: str, name: str, compute):
+        self._check_open()
+        key = self._digest(kind, name.encode("utf-8"))
+        live = self._live_versions()
+        hit, value = self.cache.lookup(key, live)
+        if hit:
+            return value
+        value = compute()
+        self.cache.store(key, self._full_deps(live), value)
+        return value
+
+    # ------------------------------------------------------------------
+    # planning + fan-out
+    # ------------------------------------------------------------------
+    def _plan(self, path: List[str]) -> Tuple[List[List[str]], bool]:
+        """Resolve the hop list(s): ``(paths, direct)`` where *direct* means
+        the user's own path is executable as stored (its cache key may then
+        depend on the hop entries' home shards only)."""
+        if len(path) == 2:
+            try:
+                self.log.catalog.entry_between(path[0], path[1])
+            except KeyError:
+                planned = self.log.graph.shortest_paths(path[0], path[1])
+                if not planned:
+                    raise KeyError(
+                        f"no lineage stored between {path[0]!r} and {path[1]!r}"
+                    ) from None
+                return planned, False
+        return [path], True
+
+    def _resolve_tables(self, path: Sequence[str]) -> list:
+        catalog = self.log.catalog
+        return [
+            catalog.entry_between(first, second)[0].table_keyed_on(first)
+            for first, second in zip(path, path[1:])
+        ]
+
+    def _prefetch_tables(self, paths: Sequence[Sequence[str]]) -> None:
+        """Materialize every hop table, grouped by home shard on the pool.
+
+        Lazy entries hydrate through their shard's segment reader and LRU
+        cache; grouping by shard means two shards' reads + gunzips overlap
+        while each shard's own reads stay sequential (one file cursor, one
+        cache) — the per-shard fan-out of the serving tier.
+        """
+        catalog = self.log.catalog
+        entry_shard = getattr(catalog, "entry_shard", None)
+        if self._pool is None or entry_shard is None:
+            return  # sequential executor or unsharded: loads happen in-line
+        by_shard: Dict[int, List[Tuple[Any, str]]] = {}
+        for path in paths:
+            for first, second in zip(path, path[1:]):
+                entry, _ = catalog.entry_between(first, second)
+                pair = (entry.in_name, entry.out_name)
+                by_shard.setdefault(entry_shard(pair), []).append((entry, first))
+        if len(by_shard) <= 1:
+            return
+
+        def load(tasks: List[Tuple[Any, str]]) -> None:
+            for entry, keyed_on in tasks:
+                entry.table_keyed_on(keyed_on)
+
+        futures = [self._pool.submit(load, tasks) for tasks in by_shard.values()]
+        with self._stats_lock:
+            self.parallel_loads += len(futures)
+        for future in futures:
+            future.result()
+
+    def _execute_paths(
+        self, paths: List[List[str]], box_set, merge: bool, parallel: bool
+    ) -> QueryResult:
+        if parallel:
+            self._prefetch_tables(paths)
+        if parallel and self._pool is not None and len(paths) > 1:
+            futures = [
+                self._pool.submit(self._execute_one, p, box_set, merge) for p in paths
+            ]
+            with self._stats_lock:
+                self.parallel_paths += len(futures)
+            results = [future.result() for future in futures]
+        else:
+            results = [self._execute_one(p, box_set, merge) for p in paths]
+        return QueryResult.union(results, merge=merge)
+
+    def _execute_one(self, path: Sequence[str], box_set, merge: bool) -> QueryResult:
+        return execute_path(self._resolve_tables(path), box_set, merge=merge)
+
+    def _pin_stores(self):
+        """Snapshot-pin the backing store(s) for the query's lifetime so a
+        concurrent compaction retires (rather than deletes) segment files
+        this query may still read.  Returns the release callable."""
+        store = getattr(self.log, "store", None)
+        if store is None:
+            return None
+        store.pin()
+        return store.release_pin
+
+    # ------------------------------------------------------------------
+    # lifecycle + stats
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the query executor is closed")
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            return {
+                "queries": self.queries,
+                "max_workers": self.max_workers,
+                "parallel_loads": self.parallel_loads,
+                "parallel_paths": self.parallel_paths,
+                "cache": self.cache.stats(),
+            }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        self.cache.clear()
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,507 @@
+"""The HTTP lineage server and client (``LineageServer`` / ``LineageClient``).
+
+Everything before this module answered queries in-process; the serving
+tier makes the catalog reachable from other processes with nothing beyond
+the stdlib: a :class:`http.server.ThreadingHTTPServer` fronting a
+:class:`~repro.service.query.QueryExecutor` (one handler thread per
+connection, all sharing the executor's result cache and fan-out pool), and
+a thin ``urllib``-based client with bounded retry on transport failures.
+
+JSON API
+--------
+=======================  ====  =====================================================
+``/query``               POST  ``{"path": [...], "cells": [[i, j], ...]}`` or
+                               ``{"path": [...], "slices": [[start, stop], ...]}``
+                               (+ optional ``"merge"``, ``"include_boxes"``,
+                               ``"include_cells"``) → result boxes, exact cell
+                               count, per-hop stats, ``"cached"`` flag
+``/graph/impact``        GET   ``?array=NAME`` → downstream closure with hop counts
+``/graph/dependencies``  GET   ``?array=NAME`` → upstream closure with hop counts
+``/graph/summary``       GET   whole-catalog summary (roots, leaves, fan-in/out…)
+``/healthz``             GET   liveness + catalog size, durable generation vector,
+                               cache/executor stats
+=======================  ====  =====================================================
+
+Every failure returns a *structured* JSON payload — ``{"error": {"type",
+"message"}}`` with a matching status code (400 malformed request, 404
+unknown array or endpoint, 405 wrong method, 500 internal) — never a hung
+socket: the handler catches everything, and the server always finishes the
+response it started.
+
+Construction sugar: ``DSLog.serve(port)`` / ``LineageService.serve(port)``
+start a server on a background thread; ``LineageClient.connect(url)``
+polls ``/healthz`` until the server answers.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..storage.catalog import AmbiguousLineageError
+from .query import DEFAULT_CACHE_ENTRIES, QueryExecutor
+
+__all__ = [
+    "LineageServer",
+    "LineageClient",
+    "LineageServerError",
+    "LineageConnectionError",
+    "result_payload",
+]
+
+
+class LineageServerError(RuntimeError):
+    """A structured error returned by the server (the client re-raises it)."""
+
+    def __init__(self, status: int, kind: str, message: str) -> None:
+        super().__init__(f"[{status} {kind}] {message}")
+        self.status = status
+        self.kind = kind
+        self.message = message
+
+
+class LineageConnectionError(ConnectionError):
+    """The client exhausted its transport retries without an HTTP response."""
+
+
+# ----------------------------------------------------------------------
+# payloads
+# ----------------------------------------------------------------------
+def result_payload(
+    result, include_boxes: bool = True, include_cells: bool = False
+) -> dict:
+    """JSON-encodable form of a :class:`~repro.core.query.QueryResult`."""
+    cells = result.cells
+    payload: Dict[str, Any] = {
+        "array": cells.array_name,
+        "shape": list(cells.shape),
+        "boxes_merged": int(len(cells)),
+        "count": int(result.count_cells()),
+        "hops": [
+            {
+                "from": hop.array_from,
+                "to": hop.array_to,
+                "rows_scanned": hop.rows_scanned,
+                "boxes_in": hop.boxes_in,
+                "boxes_out_raw": hop.boxes_out_raw,
+                "boxes_out_merged": hop.boxes_out_merged,
+                "seconds": hop.seconds,
+            }
+            for hop in result.hops
+        ],
+    }
+    if include_boxes:
+        payload["boxes"] = [
+            [cells.lo[i].tolist(), cells.hi[i].tolist()] for i in range(len(cells))
+        ]
+    if include_cells:
+        payload["cells"] = sorted(list(cell) for cell in result.to_cells())
+    return payload
+
+
+def _parse_query_request(body: dict) -> Tuple[list, Any, bool, bool, bool]:
+    path = body.get("path")
+    if not isinstance(path, list) or len(path) < 2 or not all(
+        isinstance(name, str) for name in path
+    ):
+        raise ValueError("'path' must be a list of at least two array names")
+    cells = body.get("cells")
+    slices = body.get("slices")
+    if (cells is None) == (slices is None):
+        raise ValueError("exactly one of 'cells' or 'slices' is required")
+    if cells is not None:
+        if not isinstance(cells, list):
+            raise ValueError("'cells' must be a list of cell coordinates")
+        query: Any = []
+        for cell in cells:
+            if isinstance(cell, list) and all(isinstance(c, int) for c in cell):
+                query.append(tuple(cell))
+            elif isinstance(cell, int):
+                query.append(cell)
+            else:
+                raise ValueError(
+                    "'cells' entries must be integer coordinate lists (or bare "
+                    f"integers for 1-D arrays), got {cell!r}"
+                )
+    else:
+        if not isinstance(slices, list):
+            raise ValueError("'slices' must be a list of [start, stop] pairs")
+        query = []
+        for pair in slices:
+            if pair is None:
+                query.append(slice(None, None))
+            elif (
+                isinstance(pair, list)
+                and len(pair) == 2
+                and all(p is None or isinstance(p, int) for p in pair)
+            ):
+                query.append(slice(pair[0], pair[1]))
+            else:
+                raise ValueError(
+                    f"'slices' entries must be [start, stop] pairs or null, got {pair!r}"
+                )
+    merge = bool(body.get("merge", True))
+    include_boxes = bool(body.get("include_boxes", True))
+    include_cells = bool(body.get("include_cells", False))
+    return path, query, merge, include_boxes, include_cells
+
+
+# ----------------------------------------------------------------------
+# server
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "dslog-lineage"
+
+    # the LineageServer installs itself here on the subclass it creates
+    lineage: "LineageServer" = None
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the host application's business
+
+    # -- plumbing -------------------------------------------------------
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, status: int, kind: str, message: str) -> None:
+        self._send_json(status, {"error": {"type": kind, "message": message}})
+
+    def _read_body(self) -> dict:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise ValueError("a JSON request body is required")
+        raw = self.rfile.read(int(length))
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _BadJson(str(error)) from None
+        if not isinstance(body, dict):
+            raise _BadJson("the request body must be a JSON object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        parsed = urllib.parse.urlparse(self.path)
+        route = (method, parsed.path.rstrip("/") or "/")
+        handler = _ROUTES.get(route)
+        if handler is None:
+            if any(existing[1] == route[1] for existing in _ROUTES):
+                self._send_error_payload(
+                    405, "method-not-allowed", f"{method} is not supported on {parsed.path}"
+                )
+            else:
+                self._send_error_payload(
+                    404, "not-found", f"unknown endpoint {parsed.path!r}"
+                )
+            return
+        try:
+            status, payload = handler(self.lineage, self, parsed)
+        except _BadJson as error:
+            self._send_error_payload(400, "bad-json", f"malformed JSON body: {error}")
+        except (ValueError, AmbiguousLineageError) as error:
+            self._send_error_payload(400, "bad-request", str(error))
+        except KeyError as error:
+            self._send_error_payload(404, "not-found", str(error.args[0] if error.args else error))
+        except Exception as error:  # noqa: BLE001 - must never hang the socket
+            self._send_error_payload(500, "internal", f"{type(error).__name__}: {error}")
+        else:
+            self._send_json(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+
+class _BadJson(ValueError):
+    """Body was present but not valid JSON (distinct 400 type)."""
+
+
+def _route_query(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
+    body = handler._read_body()
+    path, query, merge, include_boxes, include_cells = _parse_query_request(body)
+    start = time.monotonic()
+    result, cached = server.executor.query(path, query, merge=merge)
+    payload = result_payload(result, include_boxes=include_boxes, include_cells=include_cells)
+    payload["cached"] = cached
+    payload["elapsed_ms"] = (time.monotonic() - start) * 1000.0
+    return 200, payload
+
+
+def _array_param(parsed) -> str:
+    params = urllib.parse.parse_qs(parsed.query)
+    values = params.get("array")
+    if not values or not values[0]:
+        raise ValueError("the 'array' query parameter is required")
+    return values[0]
+
+
+def _route_impact(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
+    name = _array_param(parsed)
+    return 200, {"array": name, "impact": server.executor.impact(name)}
+
+
+def _route_dependencies(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
+    name = _array_param(parsed)
+    return 200, {"array": name, "dependencies": server.executor.dependencies(name)}
+
+
+def _route_summary(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
+    # copy before annotating: the summary dict is shared with the cache
+    payload = dict(server.executor.lineage_summary())
+    payload["edges"] = [list(pair) for pair in server.executor.graph_edges()]
+    return 200, payload
+
+
+def _route_healthz(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
+    log = server.log
+    store = getattr(log, "store", None)
+    generations = (
+        list(store.generation_vector()) if store is not None else [log.catalog.version]
+    )
+    return 200, {
+        "status": "ok",
+        "backend": log.backend,
+        "arrays": len(log.catalog.arrays),
+        "entries": len(log.catalog),
+        "operations": len(log.catalog.operations),
+        "generations": generations,
+        "executor": server.executor.stats(),
+    }
+
+
+_ROUTES = {
+    ("POST", "/query"): _route_query,
+    ("GET", "/graph/impact"): _route_impact,
+    ("GET", "/graph/dependencies"): _route_dependencies,
+    ("GET", "/graph/summary"): _route_summary,
+    ("GET", "/healthz"): _route_healthz,
+}
+
+
+class LineageServer:
+    """Serve a DSLog catalog over HTTP.
+
+    Parameters
+    ----------
+    log:
+        The :class:`~repro.dslog.DSLog` to serve (any backend).  The server
+        only reads; a colocated writer keeps ingesting through the same log
+        object and the result cache invalidates per touched shard.
+    host / port:
+        Bind address; ``port=0`` picks a free port (see :attr:`url`).
+    executor:
+        A pre-built :class:`QueryExecutor` to share; by default the server
+        owns one (and closes it on :meth:`close`).
+    max_workers / cache_entries:
+        Forwarded to the owned executor.
+    """
+
+    def __init__(
+        self,
+        log,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor: Optional[QueryExecutor] = None,
+        max_workers: Optional[int] = None,
+        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+    ) -> None:
+        self.log = log
+        self._owns_executor = executor is None
+        self.executor = executor or QueryExecutor(
+            log, max_workers=max_workers, cache_entries=cache_entries
+        )
+        handler = type("LineageHandler", (_Handler,), {"lineage": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "LineageServer":
+        """Serve on a daemon thread; returns self (``server = log.serve()``)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="lineage-http",
+                kwargs={"poll_interval": 0.05},
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (blocks; for dedicated processes)."""
+        self._httpd.serve_forever(poll_interval=0.05)
+
+    def close(self) -> None:
+        """Stop accepting, join the serving thread, release the executor."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "LineageServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+# transport-level failures worth a retry: the server restarting, a listen
+# backlog reset, a half-closed keep-alive connection
+_RETRYABLE = (
+    ConnectionResetError,
+    ConnectionRefusedError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    socket.timeout,
+)
+
+
+class LineageClient:
+    """Thin stdlib HTTP client for a :class:`LineageServer`.
+
+    All requests are read-only (and therefore idempotent), so transport
+    failures — connection reset/refused, a server restart mid-request —
+    are retried up to *retries* times with exponential backoff before
+    :class:`LineageConnectionError` is raised.  HTTP-level errors are
+    parsed back into :class:`LineageServerError` with the server's
+    structured ``type`` and ``message``.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.requests_sent = 0
+        self.retries_used = 0
+
+    @classmethod
+    def connect(cls, url: str, timeout: float = 10.0, **kwargs) -> "LineageClient":
+        """Build a client and wait (up to *timeout* seconds) for the server
+        to answer ``/healthz`` — the rendezvous for freshly spawned server
+        processes."""
+        client = cls(url, **kwargs)
+        deadline = time.monotonic() + float(timeout)
+        while True:
+            try:
+                client.healthz()
+                return client
+            except (LineageConnectionError, LineageServerError):
+                if time.monotonic() >= deadline:
+                    raise LineageConnectionError(
+                        f"no lineage server answered at {client.url} within {timeout}s"
+                    ) from None
+                time.sleep(min(0.05, client.backoff))
+
+    # -- transport ------------------------------------------------------
+    def _request(self, method: str, route: str, body: Optional[dict] = None) -> dict:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if data is not None else {}
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.retries_used += 1
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            request = urllib.request.Request(
+                self.url + route, data=data, headers=headers, method=method
+            )
+            self.requests_sent += 1
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as error:
+                raise self._server_error(error) from None
+            except _RETRYABLE as error:
+                last_error = error
+            except urllib.error.URLError as error:
+                if not isinstance(error.reason, _RETRYABLE):
+                    raise LineageConnectionError(str(error)) from error
+                last_error = error
+        raise LineageConnectionError(
+            f"{method} {route} failed after {self.retries + 1} attempts: {last_error}"
+        ) from last_error
+
+    @staticmethod
+    def _server_error(error: urllib.error.HTTPError) -> LineageServerError:
+        try:
+            payload = json.loads(error.read().decode("utf-8"))
+            detail = payload["error"]
+            return LineageServerError(error.code, detail["type"], detail["message"])
+        except Exception:  # noqa: BLE001 - non-JSON error body
+            return LineageServerError(error.code, "http-error", str(error))
+
+    # -- API ------------------------------------------------------------
+    def prov_query(
+        self,
+        path: Sequence[str],
+        cells: Optional[Sequence] = None,
+        slices: Optional[Sequence] = None,
+        merge: bool = True,
+        include_boxes: bool = True,
+        include_cells: bool = False,
+    ) -> dict:
+        """Run a lineage query; returns the server's result payload
+        (``boxes``, exact ``count``, per-hop stats, ``cached`` flag)."""
+        body: Dict[str, Any] = {"path": list(path), "merge": merge}
+        if cells is not None:
+            body["cells"] = [list(cell) for cell in cells]
+        if slices is not None:
+            body["slices"] = [list(pair) if pair is not None else None for pair in slices]
+        body["include_boxes"] = include_boxes
+        body["include_cells"] = include_cells
+        return self._request("POST", "/query", body)
+
+    def impact(self, name: str) -> Dict[str, int]:
+        payload = self._request(
+            "GET", "/graph/impact?" + urllib.parse.urlencode({"array": name})
+        )
+        return payload["impact"]
+
+    def dependencies(self, name: str) -> Dict[str, int]:
+        payload = self._request(
+            "GET", "/graph/dependencies?" + urllib.parse.urlencode({"array": name})
+        )
+        return payload["dependencies"]
+
+    def lineage_summary(self) -> dict:
+        return self._request("GET", "/graph/summary")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")

@@ -314,6 +314,17 @@ class ShardedCatalog(Catalog):
         # pairs mid-append: reserved so two writers cannot both pass the
         # conflict check, append, and silently overwrite each other
         self._pending: Set[Tuple[str, str]] = set()
+        # per-shard applied-mutation counters: bumped the moment a mutation
+        # lands in memory (not when it is published), one counter per home
+        # shard — the serving tier's result cache keys on this vector so a
+        # writer invalidates exactly the shards it touched, and an applied-
+        # but-uncommitted entry is already visible as a version bump
+        self._shard_versions: List[int] = [0] * store.num_shards
+
+    def shard_version_vector(self) -> Tuple[int, ...]:
+        """The applied-mutation counter of every shard, in shard order."""
+        with self._meta_lock:
+            return tuple(self._shard_versions)
 
     # ------------------------------------------------------------------
     # arrays + operations (meta shard)
@@ -324,12 +335,14 @@ class ShardedCatalog(Catalog):
             manifest = self.store.meta.manifest
             if manifest.arrays.get(name) != list(info.shape):
                 manifest.arrays[name] = list(info.shape)
+                self._shard_versions[META_SHARD] += 1
                 self.store.mark_dirty(META_SHARD)
             return info
 
     def add_operation(self, record: OperationRecord) -> None:
         with self._meta_lock:
             super().add_operation(record)
+            self._shard_versions[META_SHARD] += 1
             self.store.meta.manifest.operations.append(
                 {
                     "op_name": record.op_name,
@@ -414,6 +427,7 @@ class ShardedCatalog(Catalog):
                         shard.manifest.entries.append(row)
                         self._rows[pair] = row
                     self.version += 1
+                    self._shard_versions[shard_idx] += 1
                     self.store.mark_dirty(shard_idx)
         except BaseException:
             # on append failure the reservation must not wedge the pair
@@ -430,6 +444,7 @@ class ShardedCatalog(Catalog):
             self._entries[pair] = entry
             self._rows[pair] = row
             self.version += 1
+            self._shard_versions[self.store.shard_for(*pair)] += 1
 
     def entry_shard(self, pair: Tuple[str, str]) -> int:
         return self.store.shard_for(*pair)

@@ -358,6 +358,11 @@ class LineageStore:
         write_manifest(self.root, data)
         return self.manifest.generation
 
+    def generation_vector(self) -> Tuple[int, ...]:
+        """Single-element counterpart of the sharded store's vector, so the
+        serving tier reports durable generations uniformly per backend."""
+        return (self.manifest.generation,)
+
     def close(self) -> None:
         if self._writer is not None:
             self._writer.close()

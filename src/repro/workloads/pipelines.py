@@ -19,8 +19,8 @@ any baseline database.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -110,7 +110,6 @@ def _hflip_lineage(height: int, width: int, **names) -> LineageRelation:
 def image_pipeline(height: int = 64, width: int = 64, lime_samples: int = 60) -> Pipeline:
     """Resize -> luminosity -> rotate 90 -> horizontal flip -> LIME on the detector."""
     oh, ow = height // 2, width // 2
-    frame = synthetic_frame(height, width, seed=21)
 
     resize = _resize_half_lineage(height, width, in_name="img0", out_name="img1")
     luminosity = elementwise_lineage((oh, ow), in_name="img1", out_name="img2")

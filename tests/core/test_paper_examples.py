@@ -5,7 +5,6 @@ structure (number of compressed rows, which attributes become relative,
 which become ranges) is identical.
 """
 
-import numpy as np
 
 from repro.core.compressed import KIND_ABS, KIND_REL
 from repro.core.provrc import compress

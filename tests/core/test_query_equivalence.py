@@ -16,7 +16,7 @@ from repro.core._reference import (
     merge_boxes_reference,
     theta_join_reference,
 )
-from repro.core.compressed import KIND_REL, CompressedLineage
+from repro.core.compressed import KIND_REL
 from repro.core.provrc import _key_range_pass, _value_range_pass, compress
 from repro.core.query import (
     THETA_JOIN_BLOCK_BUDGET_BYTES,
@@ -76,7 +76,6 @@ class TestMergeBoxesEquivalence:
 
     def test_heavily_overlapping_single_group(self):
         # one long chain of touching intervals must collapse to one box
-        rng = np.random.default_rng(9)
         starts = np.arange(0, 3000, 3)[:, None]
         lo = starts.astype(np.int64)
         hi = lo + 3  # touches the next interval

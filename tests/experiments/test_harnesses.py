@@ -1,6 +1,5 @@
 """Tests for the experiment harnesses (small-scale runs of every table/figure)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

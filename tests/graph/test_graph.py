@@ -247,7 +247,7 @@ class TestIncrementalRefresh:
 
         names = [f"N{i}" for i in range(8)]
         log = chain_log(names[:4])
-        graph = log.graph
+        log.graph  # force the initial build so later accesses refresh it
         for name in names[4:]:
             log.define_array(name, (6,))
         for a, b in zip(names[3:], names[4:]):

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import DSLog
-from repro.baselines.engine import BaselineDatabase
 from repro.baselines.stores import ColumnarStore, RawStore
 from repro.capture.tracked import track_operation
 from repro.core.reference import query_path_reference

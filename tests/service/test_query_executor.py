@@ -1,0 +1,266 @@
+"""QueryExecutor + ResultCache: correctness, fan-out and the generation-
+keyed invalidation contract (writers invalidate exactly the shards they
+touched)."""
+
+import pytest
+
+from repro import DSLog
+from repro.core.relation import LineageRelation
+from repro.service.query import QueryExecutor, ResultCache
+from repro.service.shards import shard_index
+
+SHAPE = (6, 6)
+
+
+def identity(in_name, out_name):
+    pairs = [((i, j), (i, j)) for i in range(SHAPE[0]) for j in range(SHAPE[1])]
+    return LineageRelation.from_pairs(
+        pairs, SHAPE, SHAPE, in_name=in_name, out_name=out_name
+    )
+
+
+def build_chain(log, names):
+    for name in names:
+        log.define_array(name, SHAPE)
+    for a, b in zip(names, names[1:]):
+        log.add_lineage(a, b, relation=identity(a, b))
+
+
+@pytest.fixture(params=["memory", "sharded"])
+def log(request, tmp_path):
+    if request.param == "memory":
+        log = DSLog()
+    else:
+        log = DSLog(tmp_path / "db", backend="sharded", num_shards=4)
+    build_chain(log, ["a", "b", "c"])
+    yield log
+    log.close()
+
+
+QUERY = [(1, 1), (2, 3), (4, 4)]
+
+
+def test_executor_matches_dslog(log):
+    with QueryExecutor(log, max_workers=4) as ex:
+        for path in (["a", "b"], ["a", "b", "c"], ["c", "b", "a"]):
+            assert ex.prov_query(path, QUERY).to_cells() == log.prov_query(
+                path, QUERY
+            ).to_cells()
+
+
+def test_sequential_equals_parallel(log):
+    with QueryExecutor(log, max_workers=1, cache_entries=0) as seq, QueryExecutor(
+        log, max_workers=4, cache_entries=0
+    ) as par:
+        assert seq.prov_query(["a", "c"], QUERY).to_cells() == par.prov_query(
+            ["a", "c"], QUERY
+        ).to_cells()
+
+
+def test_planned_diamond_union(log):
+    # a -> b -> c exists; add a second parallel branch a -> x -> c so the
+    # two-array query (a, c) plans both paths and unions them
+    log.define_array("x", SHAPE)
+    log.add_lineage("a", "x", relation=identity("a", "x"))
+    log.add_lineage("x", "c", relation=identity("x", "c"))
+    with QueryExecutor(log, max_workers=4) as ex:
+        expected = log.prov_query(["a", "c"], QUERY).to_cells()
+        assert ex.prov_query(["a", "c"], QUERY).to_cells() == expected
+        assert ex.stats()["parallel_paths"] >= 2
+
+
+def test_cache_hit_and_flag(log):
+    with QueryExecutor(log, max_workers=2) as ex:
+        result, cached = ex.query(["a", "b"], QUERY)
+        assert not cached
+        again, cached = ex.query(["a", "b"], QUERY)
+        assert cached
+        assert again.to_cells() == result.to_cells()
+        stats = ex.stats()["cache"]
+        assert stats["hits"] == 1 and stats["entries"] >= 1
+
+
+def test_cache_disabled(log):
+    with QueryExecutor(log, max_workers=2, cache_entries=0) as ex:
+        assert ex.query(["a", "b"], QUERY)[1] is False
+        assert ex.query(["a", "b"], QUERY)[1] is False
+        assert ex.stats()["cache"]["entries"] == 0
+
+
+def test_unknown_array_raises(log):
+    with QueryExecutor(log) as ex:
+        with pytest.raises(KeyError):
+            ex.prov_query(["a", "nope"], QUERY)
+        with pytest.raises(ValueError):
+            ex.prov_query(["a"], QUERY)
+
+
+def test_map_queries_matches_individual(log):
+    requests = [(["a", "b"], QUERY), (["a", "b", "c"], QUERY), (["b", "a"], QUERY)]
+    with QueryExecutor(log, max_workers=4) as ex:
+        batch = ex.map_queries(requests)
+        for (path, cells), result in zip(requests, batch):
+            assert result.to_cells() == log.prov_query(path, cells).to_cells()
+        # the batch populated the cache: re-running serves hits
+        assert ex.query(["a", "b"], QUERY)[1] is True
+
+
+def _pairs_in_distinct_shards(num_shards):
+    """Two (in, out) name pairs with different crc32 home shards."""
+    base = ("a", "b")
+    target = shard_index(*base, num_shards)
+    for i in range(1000):
+        other = (f"u{i}", f"v{i}")
+        if shard_index(*other, num_shards) != target:
+            return base, other
+    raise AssertionError("no distinct-shard pair found")
+
+
+def test_write_invalidates_only_touched_shards(tmp_path):
+    log = DSLog(tmp_path / "db", backend="sharded", num_shards=4)
+    (a, b), (u, v) = _pairs_in_distinct_shards(4)
+    for name in (a, b, u, v):
+        log.define_array(name, SHAPE)
+    log.add_lineage(a, b, relation=identity(a, b))
+    log.add_lineage(u, v, relation=identity(u, v))
+
+    with QueryExecutor(log, max_workers=2) as ex:
+        ex.prov_query([a, b], QUERY)
+        assert ex.query([a, b], QUERY)[1] is True
+
+        # a write to the OTHER pair's shard must not invalidate this result
+        log.add_lineage(u, v, relation=identity(u, v), replace=True)
+        assert ex.query([a, b], QUERY)[1] is True
+
+        # a write to the queried pair's own shard must invalidate it
+        log.add_lineage(a, b, relation=identity(a, b), replace=True)
+        assert ex.query([a, b], QUERY)[1] is False
+        assert ex.stats()["cache"]["invalidations"] == 1
+    log.close()
+
+
+def shift(in_name, out_name):
+    """Output (i, j) reads input (i, (j+1) mod cols) — distinguishable from
+    :func:`identity` so a replace visibly changes query results."""
+    rows, cols = SHAPE
+    pairs = [((i, j), (i, (j + 1) % cols)) for i in range(rows) for j in range(cols)]
+    return LineageRelation.from_pairs(
+        pairs, SHAPE, SHAPE, in_name=in_name, out_name=out_name
+    )
+
+
+def test_backward_path_invalidated_by_replace(tmp_path):
+    """Regression: shard routing hashes the *stored* (in, out) orientation,
+    but a backward query names the pair in reverse order — the dependency
+    vector must key on the stored orientation's home shard or a replace of
+    the entry leaves a stale cached result being served."""
+    a = b = None
+    for i in range(1000):
+        a, b = f"m{i}", f"n{i}"
+        if shard_index(a, b, 4) != shard_index(b, a, 4):
+            break
+    assert shard_index(a, b, 4) != shard_index(b, a, 4)
+    log = DSLog(tmp_path / "db", backend="sharded", num_shards=4)
+    log.define_array(a, SHAPE)
+    log.define_array(b, SHAPE)
+    log.add_lineage(a, b, relation=identity(a, b))
+    with QueryExecutor(log, max_workers=2) as ex:
+        before = ex.prov_query([b, a], QUERY).to_cells()
+        assert ex.query([b, a], QUERY)[1] is True
+
+        log.add_lineage(a, b, relation=shift(a, b), replace=True)
+        result, cached = ex.query([b, a], QUERY)
+        assert cached is False
+        assert result.to_cells() == log.prov_query([b, a], QUERY).to_cells()
+        assert result.to_cells() != before
+    log.close()
+
+
+def test_planned_query_keyed_on_all_shards(tmp_path):
+    # a graph-planned (two-array, no direct entry) result depends on the
+    # whole edge set: ingest anywhere must invalidate it, because a new
+    # entry can create a shorter or additional path
+    log = DSLog(tmp_path / "db", backend="sharded", num_shards=4)
+    build_chain(log, ["a", "b", "c"])
+    with QueryExecutor(log, max_workers=2) as ex:
+        before = ex.prov_query(["a", "c"], QUERY).to_cells()
+        assert ex.query(["a", "c"], QUERY)[1] is True
+
+        log.define_array("x", SHAPE)
+        log.add_lineage("a", "x", relation=identity("a", "x"))
+        log.add_lineage("x", "c", relation=identity("x", "c"))
+        result, cached = ex.query(["a", "c"], QUERY)
+        assert cached is False
+        assert result.to_cells() == before  # identity chains: same cells, two paths
+    log.close()
+
+
+def test_memory_backend_any_write_invalidates():
+    log = DSLog()
+    build_chain(log, ["a", "b"])
+    with QueryExecutor(log) as ex:
+        ex.prov_query(["a", "b"], QUERY)
+        assert ex.query(["a", "b"], QUERY)[1] is True
+        log.define_array("z", SHAPE)
+        log.add_lineage("a", "z", relation=identity("a", "z"))
+        # unsharded: the catalog generation counter is the only key
+        assert ex.query(["a", "b"], QUERY)[1] is False
+
+
+def test_graph_queries_cached_and_invalidated(log):
+    with QueryExecutor(log) as ex:
+        assert ex.impact("a") == log.impact("a")
+        hits_before = ex.stats()["cache"]["hits"]
+        ex.impact("a")
+        assert ex.stats()["cache"]["hits"] == hits_before + 1
+
+        log.define_array("w", SHAPE)
+        log.add_lineage("c", "w", relation=identity("c", "w"))
+        assert "w" in ex.impact("a")
+        assert ex.dependencies("w") == log.dependencies("w")
+        assert ex.lineage_summary()["entries"] == len(log.catalog)
+
+
+def test_result_cache_lru_eviction():
+    cache = ResultCache(max_entries=2)
+    live = {0: 1}
+    for i, key in enumerate((b"k1", b"k2", b"k3")):
+        cache.store(key, ((0, 1),), i)
+    assert cache.lookup(b"k1", live) == (False, None)  # evicted, oldest
+    assert cache.lookup(b"k3", live) == (True, 2)
+    assert cache.stats()["evictions"] == 1
+
+
+def test_result_cache_version_mismatch_drops_entry():
+    cache = ResultCache(max_entries=4)
+    cache.store(b"k", ((0, 1), (2, 5)), "value")
+    assert cache.lookup(b"k", {0: 1, 2: 5}) == (True, "value")
+    assert cache.lookup(b"k", {0: 1, 2: 6}) == (False, None)
+    assert len(cache) == 0
+    assert cache.stats()["invalidations"] == 1
+
+
+def test_shard_version_vector_tracks_home_shards(tmp_path):
+    log = DSLog(tmp_path / "db", backend="sharded", num_shards=4)
+    (a, b), (u, v) = _pairs_in_distinct_shards(4)
+    for name in (a, b, u, v):
+        log.define_array(name, SHAPE)
+    before = log.catalog.shard_version_vector()
+    log.add_lineage(a, b, relation=identity(a, b))
+    after = log.catalog.shard_version_vector()
+    home = shard_index(a, b, 4)
+    changed = [i for i in range(4) if before[i] != after[i]]
+    assert home in changed
+    assert all(i == home or after[i] >= before[i] for i in range(4))
+    log.close()
+
+
+def test_closed_executor_rejects_queries(log):
+    ex = QueryExecutor(log)
+    ex.close()
+    with pytest.raises(RuntimeError):
+        ex.prov_query(["a", "b"], QUERY)
+    with pytest.raises(RuntimeError):
+        ex.map_queries([(["a", "b"], QUERY), (["b", "c"], QUERY)])
+    with pytest.raises(RuntimeError):
+        ex.impact("a")

@@ -1,0 +1,300 @@
+"""The HTTP serving tier: endpoint behavior, structured error payloads for
+every failure mode (malformed JSON, unknown arrays, bad parameters), query
+correctness under concurrent compaction, and client retry semantics."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import DSLog, LineageClient
+from repro.core.relation import LineageRelation
+from repro.service.server import (
+    LineageConnectionError,
+    LineageServer,
+    LineageServerError,
+)
+
+SHAPE = (6, 6)
+
+
+def identity(in_name, out_name):
+    pairs = [((i, j), (i, j)) for i in range(SHAPE[0]) for j in range(SHAPE[1])]
+    return LineageRelation.from_pairs(
+        pairs, SHAPE, SHAPE, in_name=in_name, out_name=out_name
+    )
+
+
+@pytest.fixture
+def log(tmp_path):
+    log = DSLog(tmp_path / "db", backend="sharded", num_shards=4)
+    for name in ("a", "b", "c"):
+        log.define_array(name, SHAPE)
+    log.add_lineage("a", "b", relation=identity("a", "b"))
+    log.add_lineage("b", "c", relation=identity("b", "c"))
+    yield log
+    log.close()
+
+
+@pytest.fixture
+def server(log):
+    server = log.serve(port=0)
+    yield server
+    server.close()
+
+
+@pytest.fixture
+def client(server):
+    return LineageClient.connect(server.url, timeout=5.0)
+
+
+def _raw_post(url, route, data: bytes):
+    """POST raw bytes, returning (status, parsed JSON payload)."""
+    request = urllib.request.Request(
+        url + route,
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# happy paths
+# ----------------------------------------------------------------------
+def test_healthz(client, log):
+    payload = client.healthz()
+    assert payload["status"] == "ok"
+    assert payload["backend"] == "sharded"
+    assert payload["entries"] == 2
+    assert len(payload["generations"]) == 4
+    assert payload["executor"]["cache"]["max_entries"] > 0
+
+
+def test_query_with_cells_and_cache_flag(client, log):
+    payload = client.prov_query(["a", "b", "c"], cells=[[1, 1], [2, 3]])
+    assert payload["array"] == "c"
+    assert payload["count"] == 2
+    assert len(payload["hops"]) == 2
+    assert payload["cached"] is False
+    assert client.prov_query(["a", "b", "c"], cells=[[1, 1], [2, 3]])["cached"] is True
+
+
+def test_query_with_slices_and_cells_payload(client, log):
+    payload = client.prov_query(["a", "b"], slices=[[0, 2], [0, 2]], include_cells=True)
+    assert payload["count"] == 4
+    assert payload["cells"] == [[0, 0], [0, 1], [1, 0], [1, 1]]
+    expected = log.prov_query(["a", "b"], [(i, j) for i in range(2) for j in range(2)])
+    assert payload["count"] == expected.count_cells()
+
+
+def test_graph_endpoints(client, log):
+    assert client.impact("a") == {"b": 1, "c": 2}
+    assert client.dependencies("c") == {"b": 1, "a": 2}
+    summary = client.lineage_summary()
+    assert summary["entries"] == 2 and summary["roots"] == ["a"]
+    assert summary["edges"] == [["a", "b"], ["b", "c"]]
+
+
+# ----------------------------------------------------------------------
+# error paths: always a structured payload, never a hung socket
+# ----------------------------------------------------------------------
+def test_malformed_json_body(server):
+    status, payload = _raw_post(server.url, "/query", b"{this is not json")
+    assert status == 400
+    assert payload["error"]["type"] == "bad-json"
+    assert "malformed JSON" in payload["error"]["message"]
+
+
+def test_non_object_json_body(server):
+    status, payload = _raw_post(server.url, "/query", b'["just", "a", "list"]')
+    assert status == 400
+    assert payload["error"]["type"] == "bad-json"
+
+
+def test_unknown_array_name(client):
+    with pytest.raises(LineageServerError) as excinfo:
+        client.prov_query(["nope", "b"], cells=[[1, 1]])
+    assert excinfo.value.status == 404
+    assert excinfo.value.kind == "not-found"
+    assert "nope" in excinfo.value.message
+
+
+def test_unknown_graph_array(client):
+    with pytest.raises(LineageServerError) as excinfo:
+        client.impact("missing")
+    assert excinfo.value.status == 404
+
+
+def test_disconnected_arrays_are_not_found(client, log):
+    log.define_array("island", SHAPE)
+    with pytest.raises(LineageServerError) as excinfo:
+        client.prov_query(["a", "island"], cells=[[1, 1]])
+    assert excinfo.value.status == 404
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        {},  # no path
+        {"path": ["a"]},  # too short
+        {"path": ["a", "b"]},  # neither cells nor slices
+        {"path": ["a", "b"], "cells": [[1, 1]], "slices": [[0, 1]]},  # both
+        {"path": "a,b", "cells": [[1, 1]]},  # path not a list
+        {"path": ["a", 7], "cells": [[1, 1]]},  # non-string array name
+        {"path": ["a", "b"], "slices": [5]},  # slice entry not a pair
+        {"path": ["a", "b"], "slices": [[0, 1, 2]]},  # pair of wrong length
+        {"path": ["a", "b"], "slices": [["x", 1]]},  # non-integer bound
+        {"path": ["a", "b"], "cells": [{"x": 1}]},  # cell not a coordinate
+        {"path": ["a", "b"], "cells": [["x", "y"]]},  # non-integer coordinates
+    ],
+)
+def test_bad_request_parameters(server, body):
+    status, payload = _raw_post(server.url, "/query", json.dumps(body).encode())
+    assert status == 400
+    assert payload["error"]["type"] == "bad-request"
+
+
+def test_missing_array_param(server):
+    status = urllib.request.urlopen(server.url + "/graph/impact?array=a", timeout=10).status
+    assert status == 200
+    try:
+        urllib.request.urlopen(server.url + "/graph/impact", timeout=10)
+    except urllib.error.HTTPError as error:
+        assert error.code == 400
+        assert json.loads(error.read())["error"]["type"] == "bad-request"
+    else:
+        raise AssertionError("expected a 400")
+
+
+def test_unknown_endpoint_and_wrong_method(server, client):
+    with pytest.raises(LineageServerError) as excinfo:
+        client._request("GET", "/nope")
+    assert excinfo.value.status == 404
+    with pytest.raises(LineageServerError) as excinfo:
+        client._request("GET", "/query")  # POST-only endpoint
+    assert excinfo.value.status == 405
+    assert excinfo.value.kind == "method-not-allowed"
+
+
+# ----------------------------------------------------------------------
+# queries racing compaction
+# ----------------------------------------------------------------------
+def test_queries_during_compaction(log, server):
+    """Queries issued while the store is repeatedly compacted (and mutated,
+    so compaction has dead bytes to reclaim) must stay correct — snapshot
+    pins retire rather than delete segment files mid-read."""
+    client = LineageClient.connect(server.url, timeout=5.0)
+    expected = log.prov_query(["a", "b", "c"], [(1, 1), (2, 3)]).count_cells()
+    stop = threading.Event()
+    errors = []
+
+    def churn():
+        while not stop.is_set():
+            try:
+                log.add_lineage("a", "b", relation=identity("a", "b"), replace=True)
+                log.compact()
+            except Exception as error:  # pragma: no cover - fail the test below
+                errors.append(error)
+                return
+
+    thread = threading.Thread(target=churn)
+    thread.start()
+    try:
+        for _ in range(25):
+            payload = client.prov_query(["a", "b", "c"], cells=[[1, 1], [2, 3]])
+            assert payload["count"] == expected
+    finally:
+        stop.set()
+        thread.join()
+    assert not errors
+
+
+# ----------------------------------------------------------------------
+# client retry
+# ----------------------------------------------------------------------
+def test_client_retries_on_connection_reset(client, monkeypatch):
+    real_urlopen = urllib.request.urlopen
+    failures = {"left": 2}
+
+    def flaky(request, timeout=None):
+        if failures["left"] > 0:
+            failures["left"] -= 1
+            raise ConnectionResetError("peer reset")
+        return real_urlopen(request, timeout=timeout)
+
+    monkeypatch.setattr(urllib.request, "urlopen", flaky)
+    assert client.healthz()["status"] == "ok"
+    assert failures["left"] == 0
+    assert client.retries_used == 2
+
+
+def test_client_retries_exhausted(client, monkeypatch):
+    def always_reset(request, timeout=None):
+        raise ConnectionResetError("peer reset")
+
+    monkeypatch.setattr(urllib.request, "urlopen", always_reset)
+    client.retries = 2
+    client.backoff = 0.001
+    with pytest.raises(LineageConnectionError) as excinfo:
+        client.healthz()
+    assert "3 attempts" in str(excinfo.value)
+
+
+def test_client_does_not_retry_http_errors(client, monkeypatch):
+    """A structured server error must surface immediately, not be retried."""
+    calls = {"count": 0}
+    real_urlopen = urllib.request.urlopen
+
+    def counting(request, timeout=None):
+        calls["count"] += 1
+        return real_urlopen(request, timeout=timeout)
+
+    monkeypatch.setattr(urllib.request, "urlopen", counting)
+    with pytest.raises(LineageServerError):
+        client.impact("missing")
+    assert calls["count"] == 1
+
+
+def test_connect_waits_for_late_server(log):
+    server = LineageServer(log, port=0)
+    url = server.url
+
+    def start_later():
+        time.sleep(0.2)
+        server.start()
+
+    thread = threading.Thread(target=start_later)
+    thread.start()
+    try:
+        client = LineageClient.connect(url, timeout=10.0, retries=0)
+        assert client.healthz()["status"] == "ok"
+    finally:
+        thread.join()
+        server.close()
+
+
+def test_connect_times_out_when_no_server():
+    with pytest.raises(LineageConnectionError):
+        LineageClient.connect("http://127.0.0.1:9", timeout=0.3, retries=0)
+
+
+def test_service_serve_reads_applied_state(tmp_path):
+    from repro import LineageService
+
+    with LineageService(tmp_path / "db", workers=2, num_shards=4) as service:
+        service.define_array("a", SHAPE)
+        service.define_array("b", SHAPE)
+        service.submit("op", ["a"], ["b"], relations={("a", "b"): identity("a", "b")}).result(
+            timeout=30
+        )
+        with service.serve(port=0) as server:
+            client = LineageClient.connect(server.url, timeout=5.0)
+            assert client.prov_query(["a", "b"], cells=[[2, 2]])["count"] == 1

@@ -1,6 +1,5 @@
 """Tests for the DSLog catalog layer."""
 
-import numpy as np
 import pytest
 
 from repro.core.provrc import compress

@@ -14,7 +14,6 @@ Simulates the two crash windows of the durability protocol:
 import json
 
 import numpy as np
-import pytest
 
 from repro import DSLog
 from repro.core.relation import LineageRelation

@@ -1,7 +1,6 @@
 """Tests for DSLog on-disk persistence (write at ingest, re-open with load)."""
 
 import numpy as np
-import pytest
 
 from repro import DSLog
 from repro.core.relation import LineageRelation

@@ -1,0 +1,97 @@
+"""The CI perf-regression gate (``benchmarks/check_regression.py``):
+comparison semantics, missing-benchmark handling and CLI exit codes."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def bench_json(path: Path, means: dict) -> Path:
+    payload = {
+        "benchmarks": [
+            {"fullname": name, "name": name.rsplit("::", 1)[-1], "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def test_load_benchmarks(tmp_path):
+    path = bench_json(tmp_path / "b.json", {"suite::bench_a": 0.25, "suite::bench_b": 1.0})
+    assert check_regression.load_benchmarks(path) == {
+        "suite::bench_a": 0.25,
+        "suite::bench_b": 1.0,
+    }
+
+
+def test_compare_within_tolerance_passes():
+    regressions, missing, report = check_regression.compare(
+        {"a": 1.0, "b": 0.1}, {"a": 1.4, "b": 0.1}, tolerance=1.5
+    )
+    assert regressions == [] and missing == []
+    assert all(line.startswith("ok") for line in report)
+
+
+def test_compare_flags_regression():
+    regressions, missing, _ = check_regression.compare(
+        {"a": 1.0, "b": 0.1}, {"a": 1.6, "b": 0.1}, tolerance=1.5
+    )
+    assert regressions == ["a"] and missing == []
+
+
+def test_compare_flags_missing_and_tolerates_new():
+    regressions, missing, report = check_regression.compare(
+        {"a": 1.0}, {"brand_new": 0.5}, tolerance=1.5
+    )
+    assert regressions == [] and missing == ["a"]
+    assert any(line.startswith("new") for line in report)
+
+
+@pytest.mark.parametrize(
+    "fresh_means,extra_args,expected",
+    [
+        ({"a": 1.0}, [], 0),  # identical: ok
+        ({"a": 2.0}, [], 1),  # 2x > 1.5x: regression
+        ({"a": 2.0}, ["--tolerance", "3"], 0),  # widened tolerance
+        ({}, [], 1),  # baseline benchmark dropped
+        ({}, ["--allow-missing"], 0),  # ... unless explicitly allowed
+    ],
+)
+def test_main_exit_codes(tmp_path, fresh_means, extra_args, expected):
+    baseline = bench_json(tmp_path / "baseline.json", {"a": 1.0})
+    fresh = bench_json(tmp_path / "fresh.json", fresh_means)
+    code = check_regression.main(
+        [str(fresh), "--baseline", str(baseline), *extra_args]
+    )
+    assert code == expected
+
+
+def test_main_merges_multiple_baselines(tmp_path):
+    base1 = bench_json(tmp_path / "b1.json", {"a": 1.0})
+    base2 = bench_json(tmp_path / "b2.json", {"b": 1.0})
+    fresh = bench_json(tmp_path / "fresh.json", {"a": 1.0, "b": 5.0})
+    code = check_regression.main(
+        [str(fresh), "--baseline", str(base1), "--baseline", str(base2)]
+    )
+    assert code == 1  # the regression in the second baseline is caught
+
+
+def test_main_bad_input_is_a_usage_error(tmp_path):
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text("not json", encoding="utf-8")
+    baseline = bench_json(tmp_path / "baseline.json", {"a": 1.0})
+    assert check_regression.main([str(fresh), "--baseline", str(baseline)]) == 2
+    assert (
+        check_regression.main(
+            [str(bench_json(tmp_path / "ok.json", {"a": 1.0})), "--baseline", str(fresh)]
+        )
+        == 2
+    )
