@@ -18,10 +18,19 @@ class than the hosted runners.  Ratio-style acceptance criteria (cached
 ≥ 5× uncached, fan-out ≥ 1.5×) live *inside* the benchmark suites, where
 they are machine-independent; this gate guards absolute walltime drift.
 
+Individual benchmarks may need a wider (or tighter) bound than the global
+tolerance — e.g. a sub-millisecond benchmark whose mean is dominated by
+scheduler noise on 1-CPU runners.  ``--tolerance-override PATTERN=FACTOR``
+(repeatable) sets a per-benchmark factor: a pattern equal to a benchmark's
+``fullname`` matches exactly; otherwise it matches as a substring, and
+when several substring patterns match one benchmark the longest (most
+specific) pattern wins.
+
 Usage:
     python benchmarks/check_regression.py FRESH.json \\
         --baseline benchmarks/BENCH_post_serving.json [--tolerance 1.5] \\
-        [--metric mean] [--allow-missing]
+        [--metric mean] [--allow-missing] \\
+        [--tolerance-override test_bench_planned_query=3.0]
 """
 
 from __future__ import annotations
@@ -30,10 +39,37 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 DEFAULT_TOLERANCE = 1.5
 DEFAULT_METRIC = "mean"
+
+
+def parse_overrides(specs: Optional[List[str]]) -> Dict[str, float]:
+    """``["name=2.5", ...]`` -> ``{"name": 2.5}``; raises ValueError on a
+    malformed spec or a non-positive factor."""
+    overrides: Dict[str, float] = {}
+    for spec in specs or []:
+        pattern, sep, factor = spec.rpartition("=")
+        if not sep or not pattern:
+            raise ValueError(f"override {spec!r} is not of the form PATTERN=FACTOR")
+        value = float(factor)  # ValueError propagates with the right message
+        if value <= 0:
+            raise ValueError(f"override {spec!r} has a non-positive factor")
+        overrides[pattern] = value
+    return overrides
+
+
+def tolerance_for(name: str, default: float, overrides: Dict[str, float]) -> float:
+    """The tolerance for one benchmark: exact fullname override first, then
+    the longest matching substring override, else the global default."""
+    if name in overrides:
+        return overrides[name]
+    best: Optional[str] = None
+    for pattern in overrides:
+        if pattern in name and (best is None or len(pattern) > len(best)):
+            best = pattern
+    return overrides[best] if best is not None else default
 
 
 def load_benchmarks(path: Path, metric: str = DEFAULT_METRIC) -> Dict[str, float]:
@@ -52,11 +88,13 @@ def compare(
     baseline: Dict[str, float],
     fresh: Dict[str, float],
     tolerance: float = DEFAULT_TOLERANCE,
+    overrides: Optional[Dict[str, float]] = None,
 ) -> Tuple[List[str], List[str], List[str]]:
     """Returns ``(regressions, missing, report_lines)``."""
     regressions: List[str] = []
     missing: List[str] = []
     report: List[str] = []
+    overrides = overrides or {}
     for name in sorted(baseline):
         base = baseline[name]
         if name not in fresh:
@@ -64,11 +102,12 @@ def compare(
             report.append(f"MISSING  {name}  (baseline {base * 1000:.2f} ms)")
             continue
         current = fresh[name]
+        limit = tolerance_for(name, tolerance, overrides)
         ratio = current / base if base > 0 else float("inf")
-        verdict = "ok" if current <= base * tolerance else "REGRESSION"
+        verdict = "ok" if current <= base * limit else "REGRESSION"
         report.append(
             f"{verdict:10s} {name}  {base * 1000:.2f} ms -> {current * 1000:.2f} ms "
-            f"({ratio:.2f}x, limit {tolerance:.2f}x)"
+            f"({ratio:.2f}x, limit {limit:.2f}x)"
         )
         if verdict != "ok":
             regressions.append(name)
@@ -101,10 +140,21 @@ def main(argv=None) -> int:
         action="store_true",
         help="do not fail when a baseline benchmark is absent from the fresh run",
     )
+    parser.add_argument(
+        "--tolerance-override",
+        action="append",
+        metavar="PATTERN=FACTOR",
+        help="per-benchmark tolerance (repeatable); PATTERN matches the "
+        "fullname exactly or as a substring (longest substring wins)",
+    )
     args = parser.parse_args(argv)
 
     if args.tolerance <= 0:
         parser.error("--tolerance must be positive")
+    try:
+        overrides = parse_overrides(args.tolerance_override)
+    except ValueError as error:
+        parser.error(str(error))
     try:
         fresh = load_benchmarks(args.fresh, args.metric)
         baseline: Dict[str, float] = {}
@@ -117,11 +167,24 @@ def main(argv=None) -> int:
         print("check_regression: no baseline benchmarks found", file=sys.stderr)
         return 2
 
-    regressions, missing, report = compare(baseline, fresh, args.tolerance)
+    regressions, missing, report = compare(baseline, fresh, args.tolerance, overrides)
     print(f"comparing {len(fresh)} fresh vs {len(baseline)} baseline benchmarks "
           f"(metric {args.metric!r}, tolerance {args.tolerance:.2f}x)")
     for line in report:
         print(" ", line)
+
+    matched = len(baseline) - len(missing)
+    if matched == 0 and args.allow_missing:
+        # --allow-missing tolerates an intentionally partial run, but a run
+        # matching NOTHING (e.g. after a benchmark rename) would make the
+        # gate vacuous — fail loudly instead of passing on zero comparisons
+        # (without the flag, the missing-benchmark failure below fires)
+        print(
+            "check_regression: no fresh benchmark matched any baseline "
+            "entry — the gate compared nothing (renamed benchmarks?)",
+            file=sys.stderr,
+        )
+        return 2
 
     failed = bool(regressions) or (bool(missing) and not args.allow_missing)
     if regressions:

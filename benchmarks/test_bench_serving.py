@@ -44,6 +44,7 @@ FANOUT_ROUNDS = 3
 PARALLEL_WORKERS = 4
 
 _results = {}
+_dirs = iter(range(1_000_000))  # fresh catalog dir per (re-)invocation
 
 
 def scatter(in_name, out_name):
@@ -124,7 +125,7 @@ def fanout_threshold():
 # ----------------------------------------------------------------------
 def test_bench_serving_cache(benchmark, tmp_path):
     def run():
-        log = build_catalog(tmp_path / "cache-db", 4)
+        log = build_catalog(tmp_path / f"cache-db{next(_dirs)}", 4)
         mix = build_mix()
         log.prov_query(lane_arrays(0), [(1, 1)])  # warm the table cache
         uncached_qps = time_mix(log, mix, max_workers=1, rounds=CACHE_ROUNDS)
@@ -172,7 +173,7 @@ def test_cached_reads_at_least_5x_uncached(tmp_path):
 @pytest.mark.parametrize("num_shards", [4, 8])
 def test_bench_serving_fanout(benchmark, tmp_path, num_shards):
     def run():
-        log = build_catalog(tmp_path / f"fanout-db{num_shards}", num_shards)
+        log = build_catalog(tmp_path / f"fanout-db{num_shards}-{next(_dirs)}", num_shards)
         mix = build_mix()
         seq_qps = time_mix(log, mix, max_workers=1, rounds=FANOUT_ROUNDS, cold=True)
         par_qps = time_mix(
@@ -227,7 +228,7 @@ def test_fanout_speedup_gate(tmp_path):
 # ----------------------------------------------------------------------
 def test_bench_http_roundtrip(benchmark, tmp_path):
     def run():
-        log = build_catalog(tmp_path / "http-db", 4)
+        log = build_catalog(tmp_path / f"http-db{next(_dirs)}", 4)
         server = log.serve(port=0)
         client = LineageClient.connect(server.url, timeout=10.0)
         path = lane_arrays(0)

@@ -68,6 +68,18 @@ def main() -> None:
           f"{log.store.tables_deserialized} tables deserialized, "
           f"op name preserved: {log.catalog.entry('raw', 'cleaned').op_name!r}")
 
+    # 2b. zero-copy hydration: tables come back as read-only narrow views
+    # into the segment mmap, and the cache charges that narrow footprint
+    # (an int8 table would cost 8x more after an astype(int64) upcast)
+    print(f"cache before hydration: {log.store.cache.stats()['bytes']} bytes")
+    hydrated = log.catalog.entry("raw", "cleaned").backward
+    print(f"cache after one table:  {log.store.cache.stats()['bytes']} bytes "
+          f"(key_lo dtype {hydrated.key_lo.dtype}, "
+          f"writeable={hydrated.key_lo.flags.writeable})")
+    log.catalog.materialize_all()
+    print(f"cache fully hydrated:   {log.store.cache.stats()['bytes']} bytes, "
+          f"mmap readers: {log.store.reader_stats()}")
+
     # 3. graph-planned queries: no hop list, diamonds are unioned
     backward = log.prov_query(["scores", "raw"], [(3,)])
     print(f"scores[3] depends on {backward.count_cells()} raw cells "

@@ -125,12 +125,12 @@ def theta_join_reference(query, table: CompressedLineage, merge: bool = True):
         row_vlo = val_lo[matched]
         row_vhi = val_hi[matched]
 
-        res_lo = np.empty_like(row_vlo)
-        res_hi = np.empty_like(row_vhi)
+        # int64 like the vectorized kernel: the rel_back additions below
+        # can overflow a narrow stored dtype
+        res_lo = row_vlo.astype(np.int64)
+        res_hi = row_vhi.astype(np.int64)
         for i in range(value_ndim):
             is_rel = row_kind[:, i] == KIND_REL
-            res_lo[:, i] = row_vlo[:, i]
-            res_hi[:, i] = row_vhi[:, i]
             if is_rel.any():
                 refs = row_ref[is_rel, i]
                 rel_rows = np.flatnonzero(is_rel)
@@ -148,8 +148,8 @@ def theta_join_reference(query, table: CompressedLineage, merge: bool = True):
             khi = ihi.copy()
             klo[shared] = combo
             khi[shared] = combo
-            lo = val_lo[r].copy()
-            hi = val_hi[r].copy()
+            lo = val_lo[r].astype(np.int64)
+            hi = val_hi[r].astype(np.int64)
             for i in range(value_ndim):
                 if val_kind[r, i] == KIND_REL:
                     lo[i] += klo[val_ref[r, i]]
@@ -183,6 +183,10 @@ def key_range_pass_reference(
     nval = vlo.shape[1]
     if klo.shape[0] == 0:
         return klo, khi, vkind, vref, vlo, vhi
+    if relative and vlo.dtype != np.int64:
+        # mirror the vectorized pass: deltas overflow narrow value columns
+        vlo = vlo.astype(np.int64)
+        vhi = vhi.astype(np.int64)
 
     for kj in range(nkey - 1, -1, -1):
         n = klo.shape[0]
@@ -210,7 +214,7 @@ def key_range_pass_reference(
                 continue
             base_ok[1:] &= klo[1:, j] == klo[:-1, j]
             base_ok[1:] &= khi[1:, j] == khi[:-1, j]
-        base_ok[1:] &= klo[1:, kj] == khi[:-1, kj] + 1
+        base_ok[1:] &= np.subtract(klo[1:, kj], khi[:-1, kj], dtype=np.int64) == 1
 
         keep_eq = np.zeros((nval, n), dtype=bool)
         delta_eq = np.zeros((nval, n), dtype=bool)

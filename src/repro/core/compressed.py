@@ -34,6 +34,20 @@ KIND_ABS = 0
 KIND_REL = 1
 
 
+def _as_int_column(array) -> np.ndarray:
+    """Coerce one interval column, preserving any signed-integer dtype.
+
+    Hydrated tables arrive as read-only narrow views into serialized bytes
+    (int8/int16/...) and must stay that way — upcasting here would undo the
+    zero-copy fast path.  Anything else (Python lists, floats, unsigned)
+    falls back to the canonical int64.
+    """
+    arr = np.asarray(array)
+    if arr.dtype.kind != "i":
+        arr = arr.astype(np.int64)
+    return arr
+
+
 @dataclass(frozen=True)
 class ValueAttr:
     """One value attribute of a compressed row (absolute or relative)."""
@@ -76,6 +90,13 @@ class CompressedLineage:
     The table is stored as flat numpy arrays so the in-situ query processor
     can operate on whole columns at once and so the on-disk footprint can be
     measured fairly against the columnar baselines.
+
+    Columns are **dtype-polymorphic**: any signed integer dtype is kept
+    as-is, so a table hydrated from disk holds read-only int8/int16 views
+    straight into the serialized buffer (no ``astype(int64)`` inflation) and
+    :meth:`nbytes` charges the actual view footprint.  Kernels consuming the
+    columns upcast only where arithmetic could overflow the narrow dtype
+    (``rel_back`` additions, delta encodings, ``hi + 1`` contiguity probes).
     """
 
     def __init__(
@@ -104,12 +125,12 @@ class CompressedLineage:
         self.out_axes = tuple(out_axes) if out_axes else default_axis_names("b", len(self.out_shape))
         self.in_axes = tuple(in_axes) if in_axes else default_axis_names("a", len(self.in_shape))
 
-        self.key_lo = np.asarray(key_lo, dtype=np.int64)
-        self.key_hi = np.asarray(key_hi, dtype=np.int64)
+        self.key_lo = _as_int_column(key_lo)
+        self.key_hi = _as_int_column(key_hi)
         self.val_kind = np.asarray(val_kind, dtype=np.int8)
         self.val_ref = np.asarray(val_ref, dtype=np.int16)
-        self.val_lo = np.asarray(val_lo, dtype=np.int64)
-        self.val_hi = np.asarray(val_hi, dtype=np.int64)
+        self.val_lo = _as_int_column(val_lo)
+        self.val_hi = _as_int_column(val_hi)
 
         nkey = self.key_ndim
         nval = self.value_ndim
@@ -139,6 +160,63 @@ class CompressedLineage:
                     "relative value attributes must reference a key attribute "
                     f"in [0, {nkey})"
                 )
+
+    @classmethod
+    def _hydrate(
+        cls,
+        key_side: str,
+        out_name: str,
+        in_name: str,
+        out_shape: Tuple[int, ...],
+        in_shape: Tuple[int, ...],
+        key_lo: np.ndarray,
+        key_hi: np.ndarray,
+        val_kind: np.ndarray,
+        val_ref: np.ndarray,
+        val_lo: np.ndarray,
+        val_hi: np.ndarray,
+        out_axes: AxisNames,
+        in_axes: AxisNames,
+    ) -> "CompressedLineage":
+        """Trusted fast-path constructor for serializer-produced columns.
+
+        Hydration runs once per table read and the full ``__init__``
+        validation (six coercions, shape cross-checks, the relative-ref
+        mask) costs more than the decode itself on small tables.  Columns
+        arriving here were validated when the table was first constructed
+        and serialized, so only one cheap integrity probe remains: the
+        bounds of ``val_ref``, whose out-of-range values would silently
+        gather garbage in the θ-join (the serializer always stores ``-1``
+        for absolute attributes, so the probe is exact).
+        """
+        self = cls.__new__(cls)
+        self.key_side = key_side
+        self.out_name = out_name
+        self.in_name = in_name
+        self.out_shape = out_shape
+        self.in_shape = in_shape
+        self.out_axes = out_axes
+        self.in_axes = in_axes
+        self.key_lo = key_lo
+        self.key_hi = key_hi
+        self.val_kind = val_kind
+        self.val_ref = val_ref
+        self.val_lo = val_lo
+        self.val_hi = val_hi
+        if val_ref.size:
+            nkey = len(out_shape if key_side == "output" else in_shape)
+            if (
+                int(val_ref.min()) < -1
+                or int(val_ref.max()) >= nkey
+                # a relative attribute with ref -1 would silently gather
+                # the last key column (negative fancy index wraps)
+                or bool(((val_ref < 0) & (val_kind == KIND_REL)).any())
+            ):
+                raise ValueError(
+                    "hydrated table has value references outside the key "
+                    f"arity [0, {nkey}) — corrupt or foreign payload"
+                )
+        return self
 
     # ------------------------------------------------------------------
     # shape bookkeeping

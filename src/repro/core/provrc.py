@@ -151,10 +151,12 @@ def _value_range_pass(
     n = key_cols.shape[0]
     nkey = key_cols.shape[1]
     nval = val_cols.shape[1]
-    klo = key_cols.astype(np.int64, copy=True)
-    khi = key_cols.astype(np.int64, copy=True)
-    vlo = val_cols.astype(np.int64, copy=True)
-    vhi = val_cols.astype(np.int64, copy=True)
+    # the pass only compares and regroups, so narrow input columns stay at
+    # their width; contiguity is probed with an explicitly-int64 subtract
+    klo = np.array(key_cols)
+    khi = np.array(key_cols)
+    vlo = np.array(val_cols)
+    vhi = np.array(val_cols)
     if n == 0:
         return klo, khi, vlo, vhi
 
@@ -182,7 +184,8 @@ def _value_range_pass(
             same_other[1:] &= vlo[1:, j] == vlo[:-1, j]
             same_other[1:] &= vhi[1:, j] == vhi[:-1, j]
         contiguous = np.zeros(klo.shape[0], dtype=bool)
-        contiguous[1:] = vlo[1:, vi] == vhi[:-1, vi] + 1
+        # int64 subtract: ``hi + 1`` would wrap at a narrow dtype's ceiling
+        contiguous[1:] = np.subtract(vlo[1:, vi], vhi[:-1, vi], dtype=np.int64) == 1
 
         new_run = ~(same_other & contiguous)
         new_run[0] = True
@@ -255,6 +258,13 @@ def _key_range_pass(
     nval = vlo.shape[1]
     if klo.shape[0] == 0:
         return klo, khi, vkind, vref, vlo, vhi
+    if relative and vlo.dtype != np.int64:
+        # delta encoding stores value - key differences, which can exceed
+        # the narrow input dtype's range in either direction: this is the
+        # pass's arithmetic-overflow boundary, so the value columns (where
+        # deltas land) are upcast here; key columns stay narrow throughout
+        vlo = vlo.astype(np.int64)
+        vhi = vhi.astype(np.int64)
 
     for kj in range(nkey - 1, -1, -1):
         n = klo.shape[0]
@@ -285,7 +295,8 @@ def _key_range_pass(
                 continue
             base_ok[1:] &= klo[1:, j] == klo[:-1, j]
             base_ok[1:] &= khi[1:, j] == khi[:-1, j]
-        base_ok[1:] &= klo[1:, kj] == khi[:-1, kj] + 1
+        # int64 subtract: ``hi + 1`` would wrap at a narrow dtype's ceiling
+        base_ok[1:] &= np.subtract(klo[1:, kj], khi[:-1, kj], dtype=np.int64) == 1
 
         keep_eq = np.zeros((nval, n), dtype=bool)
         delta_eq = np.zeros((nval, n), dtype=bool)

@@ -507,8 +507,9 @@ def _expand_shared_refs(
             key_hi = inter_hi[p].copy()
             key_lo[shared] = combo
             key_hi[shared] = combo
-            lo = table.val_lo[r].copy()
-            hi = table.val_hi[r].copy()
+            # upcast: the key additions below can overflow a narrow column
+            lo = table.val_lo[r].astype(np.int64)
+            hi = table.val_hi[r].astype(np.int64)
             lo[rel_cols] += key_lo[refs[rel_cols]]
             hi[rel_cols] += key_hi[refs[rel_cols]]
             los.append(lo)
@@ -529,10 +530,19 @@ def _rel_back(
     ``inter_lo``/``inter_hi`` are the key intersections of the matched rows;
     relative value attributes become absolute with one flat fancy-indexed
     gather over every (row, attribute) pair at once.
+
+    The stored value columns may be narrow (int8/int16 views hydrated
+    straight from disk); the matched gather is upcast to int64 here — the
+    one arithmetic-overflow boundary of the join, where int64 key
+    intersections are added and the caller clips in place — so only the
+    matched pairs pay for wide integers, never the resident table.
     """
     # fancy indexing copies, so the in-place de-relativization is safe
     res_lo = table.val_lo[row_idx]
     res_hi = table.val_hi[row_idx]
+    if res_lo.dtype != np.int64:
+        res_lo = res_lo.astype(np.int64)
+        res_hi = res_hi.astype(np.int64)
     if not table.has_relative:
         return res_lo, res_hi
     encoding = table.uniform_value_encoding
@@ -572,6 +582,12 @@ def theta_join(
     :data:`THETA_JOIN_BLOCK_BUDGET_BYTES` so scratch memory stays bounded
     regardless of query and table sizes.  When *stats* is given, the number
     of processed blocks is recorded under ``"join_blocks"``.
+
+    Narrow (int8/int16) table columns are consumed as-is: the interval
+    intersections promote against the int64 query boxes, and only the
+    matched value gathers are upcast (inside :func:`_rel_back`), so a
+    hydrated table is scanned at its on-disk width.  Query box sets are
+    int64 throughout — results are bit-identical to the int64 oracle.
     """
     if table.key_name != query.array_name:
         raise ValueError(

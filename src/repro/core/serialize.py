@@ -6,6 +6,14 @@ by the raw bytes of each columnar array, each downcast to the smallest
 integer dtype that can represent its values.  ``ProvRC-GZip`` (the format
 DSLog uses by default, Section VII.B) is simply this payload passed through
 zlib, mirroring how the paper stacks GZip on top of the main algorithm.
+
+Hydration is **zero-copy**: :func:`deserialize_compressed` accepts any
+buffer (``bytes``, ``memoryview``, an mmap'd segment record) and returns
+read-only ``np.frombuffer`` views directly into it, at the stored narrow
+dtypes — no per-column slice copies and no ``astype(int64)`` upcast.  A
+table stored as int8 therefore occupies its on-disk footprint in memory,
+and the backing buffer (e.g. the segment mmap) stays alive for exactly as
+long as any column view references it.
 """
 
 from __future__ import annotations
@@ -14,7 +22,7 @@ import json
 import struct
 import zlib
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,18 +37,58 @@ __all__ = [
     "deserialize_table",
     "write_compressed",
     "read_compressed",
+    "read_column_arrays",
 ]
 
 _MAGIC = b"PRVC"
 _COLUMNS = ("key_lo", "key_hi", "val_kind", "val_ref", "val_lo", "val_hi")
 
+# dtype-string -> np.dtype cache: hydration decodes six columns per table
+# and np.dtype('<i1') parsing is a measurable share of a small-table decode
+_DTYPE_CACHE: Dict[str, np.dtype] = {}
+
+
+def _dtype_of(spec: str) -> np.dtype:
+    dtype = _DTYPE_CACHE.get(spec)
+    if dtype is None:
+        dtype = _DTYPE_CACHE[spec] = np.dtype(spec)
+    return dtype
+
+# chunk size of the single-pass min/max scan: large enough to amortize the
+# numpy call overhead, small enough that each chunk stays in L2 so the max
+# reduction re-reads cache-hot bytes instead of making a second memory pass
+_MINMAX_CHUNK = 65_536
+
+
+def _minmax(flat: np.ndarray) -> Tuple[int, int]:
+    """Min and max of a flat integer array in one pass over memory.
+
+    Each chunk is reduced for both bounds while its bytes are cache-hot,
+    so the array is streamed from memory once instead of twice (``min``
+    then ``max`` back to back re-reads everything on large columns).
+    """
+    if flat.size <= _MINMAX_CHUNK:
+        return int(flat.min()), int(flat.max())
+    lo = None
+    hi = None
+    for start in range(0, flat.size, _MINMAX_CHUNK):
+        chunk = flat[start : start + _MINMAX_CHUNK]
+        clo = chunk.min()
+        chi = chunk.max()
+        if lo is None or clo < lo:
+            lo = clo
+        if hi is None or chi > hi:
+            hi = chi
+    return int(lo), int(hi)
+
 
 def _smallest_int_dtype(array: np.ndarray) -> np.dtype:
     """Pick the narrowest signed integer dtype that can hold *array*."""
-    if array.size == 0:
+    if array.size == 0 or array.dtype == np.int8:
+        # int8 is the floor: an empty column (or one already at the floor)
+        # needs no value scan at all
         return np.dtype(np.int8)
-    lo = int(array.min())
-    hi = int(array.max())
+    lo, hi = _minmax(array.reshape(-1))
     for dtype in (np.int8, np.int16, np.int32, np.int64):
         info = np.iinfo(dtype)
         if info.min <= lo and hi <= info.max:
@@ -55,7 +103,12 @@ def serialize_compressed(table: CompressedLineage) -> bytes:
     for name in _COLUMNS:
         array = getattr(table, name)
         dtype = _smallest_int_dtype(array)
-        cast = np.ascontiguousarray(array.astype(dtype))
+        if array.dtype == dtype:
+            # already at its narrowest (e.g. a table hydrated from disk):
+            # skip the cast — tobytes() below is the only copy made
+            cast = np.ascontiguousarray(array)
+        else:
+            cast = np.ascontiguousarray(array.astype(dtype, copy=False))
         columns[name] = {"dtype": dtype.str, "shape": list(cast.shape)}
         payload.extend(cast.tobytes())
     header = {
@@ -72,37 +125,61 @@ def serialize_compressed(table: CompressedLineage) -> bytes:
     return _MAGIC + struct.pack("<I", len(header_bytes)) + header_bytes + bytes(payload)
 
 
-def deserialize_compressed(data: bytes) -> CompressedLineage:
-    """Inverse of :func:`serialize_compressed`."""
-    if data[:4] != _MAGIC:
+def read_column_arrays(data) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Decode the header and the raw column views of a serialized table.
+
+    *data* may be any buffer (``bytes``, ``memoryview``, mmap record).  The
+    returned arrays are **read-only views into that buffer** at their stored
+    dtypes — ``np.frombuffer`` with an offset, no slice copy, no upcast.
+    A zero-dimensional (scalar-shaped) column has exactly one element: the
+    empty shape's index space is the single empty tuple, so its count is the
+    empty product 1, not 0.
+    """
+    view = memoryview(data)
+    if bytes(view[:4]) != _MAGIC:
         raise ValueError("not a ProvRC serialized table")
-    (header_len,) = struct.unpack("<I", data[4:8])
-    header = json.loads(data[8 : 8 + header_len].decode("utf-8"))
+    (header_len,) = struct.unpack("<I", view[4:8])
+    header = json.loads(bytes(view[8 : 8 + header_len]).decode("utf-8"))
     offset = 8 + header_len
-    arrays = {}
+    arrays: Dict[str, np.ndarray] = {}
+    columns = header["columns"]
+    frombuffer = np.frombuffer
     for name in _COLUMNS:
-        meta = header["columns"][name]
-        dtype = np.dtype(meta["dtype"])
-        shape = tuple(meta["shape"])
-        count = int(np.prod(shape)) if shape else 0
-        nbytes = count * dtype.itemsize
-        arr = np.frombuffer(data[offset : offset + nbytes], dtype=dtype).reshape(shape)
-        arrays[name] = arr.astype(np.int64)
-        offset += nbytes
-    return CompressedLineage(
-        key_side=header["key_side"],
-        out_name=header["out_name"],
-        in_name=header["in_name"],
-        out_shape=tuple(header["out_shape"]),
-        in_shape=tuple(header["in_shape"]),
-        key_lo=arrays["key_lo"],
-        key_hi=arrays["key_hi"],
-        val_kind=arrays["val_kind"],
-        val_ref=arrays["val_ref"],
-        val_lo=arrays["val_lo"],
-        val_hi=arrays["val_hi"],
-        out_axes=tuple(header["out_axes"]),
-        in_axes=tuple(header["in_axes"]),
+        meta = columns[name]
+        dtype = _dtype_of(meta["dtype"])
+        shape = meta["shape"]
+        count = 1
+        for dim in shape:
+            count *= dim
+        arr = frombuffer(view, dtype=dtype, count=count, offset=offset)
+        arrays[name] = arr.reshape(shape)
+        offset += count * dtype.itemsize
+    return header, arrays
+
+
+def deserialize_compressed(data) -> CompressedLineage:
+    """Inverse of :func:`serialize_compressed`.
+
+    Zero-copy: the table's columns are read-only views into *data* at their
+    stored narrow dtypes.  The table keeps the buffer alive through the
+    views' ``base`` chain, so passing a segment mmap here pins its pages
+    until the table (and every array derived from its columns) is dropped.
+    """
+    header, arrays = read_column_arrays(data)
+    return CompressedLineage._hydrate(
+        header["key_side"],
+        header["out_name"],
+        header["in_name"],
+        tuple(header["out_shape"]),
+        tuple(header["in_shape"]),
+        arrays["key_lo"],
+        arrays["key_hi"],
+        arrays["val_kind"],
+        arrays["val_ref"],
+        arrays["val_lo"],
+        arrays["val_hi"],
+        tuple(header["out_axes"]),
+        tuple(header["in_axes"]),
     )
 
 
@@ -111,7 +188,7 @@ def serialize_compressed_gzip(table: CompressedLineage, level: int = 6) -> bytes
     return zlib.compress(serialize_compressed(table), level)
 
 
-def deserialize_compressed_gzip(data: bytes) -> CompressedLineage:
+def deserialize_compressed_gzip(data) -> CompressedLineage:
     return deserialize_compressed(zlib.decompress(data))
 
 
@@ -120,10 +197,11 @@ def serialize_table(table: CompressedLineage, gzip: bool = False) -> bytes:
     return serialize_compressed_gzip(table) if gzip else serialize_compressed(table)
 
 
-def deserialize_table(data: bytes) -> CompressedLineage:
+def deserialize_table(data) -> CompressedLineage:
     """Inverse of :func:`serialize_table`, sniffing the format from the
     magic bytes (zlib payloads never start with the ProvRC magic)."""
-    if data[:4] == _MAGIC:
+    view = memoryview(data)
+    if bytes(view[:4]) == _MAGIC:
         return deserialize_compressed(data)
     return deserialize_compressed_gzip(data)
 

@@ -54,10 +54,13 @@ class GeneralizedTable:
         key_shape = out_shape if template.key_side == "output" else in_shape
         value_shape = in_shape if template.key_side == "output" else out_shape
 
-        key_lo = template.key_lo.copy()
-        key_hi = template.key_hi.copy()
-        val_lo = template.val_lo.copy()
-        val_hi = template.val_hi.copy()
+        # int64 copies: the template may hold narrow hydrated views, and the
+        # symbolic bounds written below (`axis_length - 1`) can exceed the
+        # template dtype's range for a larger instantiation shape
+        key_lo = template.key_lo.astype(np.int64)
+        key_hi = template.key_hi.astype(np.int64)
+        val_lo = template.val_lo.astype(np.int64)
+        val_hi = template.val_hi.astype(np.int64)
         for j in range(template.key_ndim):
             rows = self.key_full[:, j]
             key_lo[rows, j] = 0

@@ -276,6 +276,25 @@ class ShardedLineageStore:
     def cache_stats(self) -> List[dict]:
         return [shard.cache.stats() for shard in self.shards]
 
+    def write_stats(self) -> dict:
+        """Aggregate group-commit write coalescing over every shard: how
+        many OS writes carried how many appended records."""
+        totals = {"coalesced_writes": 0, "coalesced_records": 0}
+        for shard in self.shards:
+            stats = shard.write_stats()
+            totals["coalesced_writes"] += stats["coalesced_writes"]
+            totals["coalesced_records"] += stats["coalesced_records"]
+        return totals
+
+    def reader_stats(self) -> dict:
+        """Aggregate mmap reader-handle stats over every shard."""
+        totals = {"open_readers": 0, "mapped_bytes": 0}
+        for shard in self.shards:
+            stats = shard.reader_stats()
+            totals["open_readers"] += stats["open_readers"]
+            totals["mapped_bytes"] += stats["mapped_bytes"]
+        return totals
+
     def compact(self, shard: Optional[int] = None) -> Dict[int, dict]:
         """Compact one shard (or all), each under its own append lock, so
         ingest into *other* shards proceeds while dead bytes are reclaimed.

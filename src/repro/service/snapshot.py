@@ -21,7 +21,10 @@ Isolation protocol
   retires its old segment files instead of deleting them, so refs the
   snapshot resolved before the compaction stay readable until the last
   pin is released.  Closing the snapshot releases the pins (and with them
-  any retired files).
+  any retired files).  Tables the snapshot hydrated before that point are
+  mmap-backed views into the retired segments; they remain valid even
+  after the files are unlinked, because each table pins its mapping
+  through the columns' buffer chain until the last view is dropped.
 * ``generation_vector`` records the published per-shard manifest
   generations at snapshot time (a single-element vector for the segment
   backend) — two snapshots with equal vectors and equal catalog versions

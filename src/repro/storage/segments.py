@@ -18,20 +18,39 @@ by :meth:`repro.storage.store.LineageStore.compact`.
 Payloads are the serialized ProvRC tables of :mod:`repro.core.serialize`
 (plain or ProvRC-GZip) — the same bytes the one-file-per-table legacy format
 writes, just packed many-to-a-file.
+
+Two fast paths live here:
+
+* :class:`SegmentWriter` **coalesces appends**: records accumulate in a
+  pending buffer and reach the file as one ``write`` (plus one ``fsync``
+  on :meth:`~SegmentWriter.sync`) per batch — the storage half of the
+  service's group commit, where every operation of a commit window shares
+  a single syscall pair per dirty shard instead of paying two writes and
+  a flush each.  Offsets are assigned at ``append`` time, so manifest rows
+  can be built before the bytes are flushed.
+* :class:`SegmentReader` **maps the segment** and serves records as
+  ``memoryview`` slices into the mapped pages — no per-record ``open``,
+  header re-validation, ``seek`` or read copies.  Tables hydrated from a
+  reader hold ``np.frombuffer`` views whose ``base`` chain keeps the mmap
+  alive, so a reader (or the whole segment file, on POSIX) can be retired
+  while outstanding views remain valid until the last one is released.
 """
 
 from __future__ import annotations
 
+import mmap
 import os
 import struct
+import threading
 from pathlib import Path
-from typing import Iterator, Tuple, Union
+from typing import Iterator, List, Tuple, Union
 
 __all__ = [
     "SEGMENT_MAGIC",
     "SEGMENT_VERSION",
     "SEGMENT_HEADER_SIZE",
     "SegmentWriter",
+    "SegmentReader",
     "read_record",
     "iter_records",
     "valid_length",
@@ -53,43 +72,99 @@ def _check_header(data: bytes, path: Path) -> None:
 
 
 class SegmentWriter:
-    """Appends length-prefixed records to one segment file."""
+    """Appends length-prefixed records to one segment file, coalescing
+    batches of appends into single writes.
+
+    ``append`` only extends the in-memory pending buffer (assigning the
+    record its final offset); ``flush_pending`` hands the whole batch to
+    the OS as one write, and ``sync`` adds the fsync — so a group commit
+    costs one syscall pair per segment regardless of batch size.  The
+    file's 6-byte header is the exception: it is written eagerly at
+    creation so the file is identifiable on disk from the first moment a
+    manifest could name it.
+
+    Thread-safe: appends arrive under the owning store's append lock, but
+    ``flush_pending`` may also be called by a *reader* that needs bytes
+    not yet handed to the OS (see ``LineageStore.load_table``), so the
+    pending buffer is guarded by its own mutex.
+    """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         existing = self.path.stat().st_size if self.path.exists() else 0
         self._fh = open(self.path, "ab")
+        self._lock = threading.Lock()
+        self._pending: List[bytes] = []
+        self._pending_bytes = 0
+        self.coalesced_writes = 0  # flushes that reached the OS
+        self.coalesced_records = 0  # records covered by those flushes
+        self._pending_records = 0
         if existing == 0:
             self._fh.write(_HEADER)
             self._fh.flush()
             self._size = SEGMENT_HEADER_SIZE
+            self._flushed = SEGMENT_HEADER_SIZE
         else:
             self._size = existing
+            self._flushed = existing
 
     @property
     def size(self) -> int:
-        """Current file size in bytes (records are appended at this offset)."""
+        """Logical file size in bytes, pending buffer included (records are
+        appended at this offset)."""
         return self._size
 
+    @property
+    def flushed_size(self) -> int:
+        """Bytes actually handed to the OS (readable through the file)."""
+        return self._flushed
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes appended but not yet written to the file."""
+        return self._pending_bytes
+
     def append(self, payload: bytes) -> Tuple[int, int]:
-        """Append one record; returns ``(offset, payload length)``.
+        """Buffer one record; returns ``(offset, payload length)``.
 
         The offset addresses the record's length prefix, so a reader can
         verify the prefix against the manifest's recorded length before
-        trusting the payload bytes.
+        trusting the payload bytes.  The bytes reach the file on the next
+        ``flush_pending``/``sync`` — one coalesced write per batch.
         """
-        offset = self._size
-        self._fh.write(_PREFIX.pack(len(payload)))
-        self._fh.write(payload)
-        self._fh.flush()
-        self._size = offset + _PREFIX.size + len(payload)
-        return offset, len(payload)
+        with self._lock:
+            offset = self._size
+            self._pending.append(_PREFIX.pack(len(payload)))
+            self._pending.append(payload)
+            self._pending_bytes += _PREFIX.size + len(payload)
+            self._pending_records += 1
+            self._size = offset + _PREFIX.size + len(payload)
+            return offset, len(payload)
 
-    def sync(self) -> None:
-        """Force appended records to stable storage."""
-        self._fh.flush()
+    def flush_pending(self) -> int:
+        """Write the pending batch to the OS as one coalesced write;
+        returns the number of bytes written (0 when nothing was pending)."""
+        with self._lock:
+            if not self._pending:
+                return 0
+            buffer = b"".join(self._pending)
+            self._fh.write(buffer)
+            self._fh.flush()
+            self._pending = []
+            self._pending_bytes = 0
+            self._flushed += len(buffer)
+            self.coalesced_writes += 1
+            self.coalesced_records += self._pending_records
+            self._pending_records = 0
+            return len(buffer)
+
+    def sync(self) -> int:
+        """Force appended records to stable storage: one write of the whole
+        pending batch, then one fsync.  Returns the bytes flushed."""
+        flushed = self.flush_pending()
         os.fsync(self._fh.fileno())
+        return flushed
 
     def close(self) -> None:
         """Fsync and close.  The fsync matters on segment rollover: a
@@ -101,6 +176,94 @@ class SegmentWriter:
             self._fh.close()
 
     def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SegmentReader:
+    """Serves one segment's records as zero-copy views into mapped pages.
+
+    The segment header is validated once at open; each ``read`` validates
+    the record's length prefix against the manifest-recorded length (same
+    contract as :func:`read_record`) and returns a ``memoryview`` into the
+    mapping — no syscalls, no payload copy.  The mapping is refreshed
+    lazily when a requested record lies beyond the mapped size (the file
+    has grown since the last map).
+
+    Lifecycle: ``close`` drops the reader's own reference to the mapping;
+    if hydrated tables still hold views into it, the mapping simply stays
+    alive through their ``base`` chain until the last view is released
+    (``mmap.close`` refuses to tear down an exported buffer).  Deleting
+    the underlying file is likewise safe on POSIX — mapped pages outlive
+    the directory entry — which is what lets compaction retire a segment
+    out from under live readers.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "rb")
+        header = self._fh.read(SEGMENT_HEADER_SIZE)
+        _check_header(header, self.path)
+        self._lock = threading.Lock()
+        self._mm: "mmap.mmap" = None
+        self._mapped = 0
+        self._remap_locked()
+
+    def _remap_locked(self) -> None:
+        size = os.fstat(self._fh.fileno()).st_size
+        # the old mapping (if any) is only dereferenced, never closed:
+        # outstanding views keep it alive, and GC reclaims it afterwards
+        self._mm = mmap.mmap(self._fh.fileno(), size, access=mmap.ACCESS_READ)
+        self._mapped = size
+
+    @property
+    def mapped_size(self) -> int:
+        return self._mapped
+
+    def read(self, offset: int, length: int) -> memoryview:
+        """One record's payload as a zero-copy view, prefix-validated.
+
+        Raises ``FileNotFoundError`` when the reader was closed (a
+        compaction dropped it concurrently): ``close`` and ``read`` hold
+        the same lock, so a ``None`` mapping here reliably means closed,
+        and the store's retry loop re-resolves through the remap exactly
+        as it did for a deleted file under the per-call read path.
+        """
+        end = offset + _PREFIX.size + length
+        with self._lock:
+            if self._mm is None:
+                raise FileNotFoundError(f"{self.path}: segment reader closed")
+            if end > self._mapped:
+                self._remap_locked()
+                if end > self._mapped:
+                    raise ValueError(
+                        f"{self.path}: truncated record payload at offset {offset}"
+                    )
+            (stored,) = _PREFIX.unpack_from(self._mm, offset)
+            if stored != length:
+                raise ValueError(
+                    f"{self.path}: record at offset {offset} has length {stored}, "
+                    f"manifest expected {length}"
+                )
+            return memoryview(self._mm)[offset + _PREFIX.size : end]
+
+    def close(self) -> None:
+        """Release the reader's handles.  Outstanding record views stay
+        valid: an exported mapping cannot be closed, so it is dropped to
+        the views' reference chain instead."""
+        with self._lock:
+            if self._mm is not None:
+                try:
+                    self._mm.close()
+                except BufferError:
+                    pass  # live views pin the pages; GC closes the map later
+                self._mm = None
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "SegmentReader":
         return self
 
     def __exit__(self, *exc) -> None:

@@ -27,6 +27,17 @@ Design points
   :class:`TableCache`; once the configured budget is exceeded the least
   recently used tables are dropped and will be re-read from their segment
   on next use, so catalogs larger than memory stay queryable.
+* **Zero-copy hydration** — records are served by per-segment mmap
+  readers (:class:`~repro.storage.segments.SegmentReader`, one handle per
+  segment for the store's lifetime) as views into the mapped pages, and
+  ``deserialize_table`` turns those views into read-only narrow-dtype
+  column arrays without copying the payload.  The cache therefore charges
+  each table its actual (narrow) view footprint, and a table pins its
+  backing mmap through the arrays' buffer chain — which is what lets
+  compaction retire a mapped segment while hydrated tables stay valid.
+* **Coalesced appends** — the active ``SegmentWriter`` buffers appends
+  and hands each batch to the OS as one write + one fsync at ``sync()``
+  (the group-commit step), instead of two writes and a flush per record.
 """
 
 from __future__ import annotations
@@ -41,7 +52,7 @@ from ..core.compressed import CompressedLineage
 from ..core.serialize import deserialize_table, serialize_table
 from .catalog import Catalog, LineageEntry
 from .manifest import Manifest, dump_manifest, load_manifest, write_manifest
-from .segments import SegmentWriter, read_record
+from .segments import SegmentReader, SegmentWriter
 
 __all__ = [
     "DEFAULT_CACHE_BYTES",
@@ -219,6 +230,12 @@ class LineageStore:
         self.cache = TableCache(cache_bytes)
         self.tables_deserialized = 0
         self._writer: Optional[SegmentWriter] = None
+        # mmap-backed reader per segment, opened lazily on first read and
+        # kept for the store's lifetime: hydration costs zero syscalls after
+        # the first touch, and record payloads are served as views into the
+        # mapped pages (the zero-copy fast path)
+        self._readers: Dict[str, SegmentReader] = {}
+        self._reader_lock = threading.Lock()
         # refs invalidated by compaction resolve through this chain for the
         # rest of the session (the manifest itself is rewritten in place)
         self._remap: Dict[TableRef, TableRef] = {}
@@ -228,6 +245,9 @@ class LineageStore:
         self._pin_lock = threading.Lock()
         self._pins = 0
         self._retired: List[str] = []
+        # group-commit write accounting, carried across writer rollovers
+        self._closed_coalesced_writes = 0
+        self._closed_coalesced_records = 0
         self._drop_orphan_segments()
 
     # ------------------------------------------------------------------
@@ -249,12 +269,32 @@ class LineageStore:
             if path.name not in live:
                 path.unlink()
 
+    def _retire_writer(self) -> None:
+        """Close the active writer, folding its write counters into the
+        store-lifetime totals."""
+        if self._writer is None:
+            return
+        self._writer.close()
+        self._closed_coalesced_writes += self._writer.coalesced_writes
+        self._closed_coalesced_records += self._writer.coalesced_records
+        self._writer = None
+
+    def write_stats(self) -> dict:
+        """Cumulative group-commit write coalescing stats: how many OS
+        writes carried how many appended records."""
+        writes = self._closed_coalesced_writes
+        records = self._closed_coalesced_records
+        writer = self._writer
+        if writer is not None:
+            writes += writer.coalesced_writes
+            records += writer.coalesced_records
+        return {"coalesced_writes": writes, "coalesced_records": records}
+
     def _active_writer(self) -> SegmentWriter:
         if self._writer is not None and self._writer.size < self.segment_max_bytes:
             return self._writer
         if self._writer is not None:
-            self._writer.close()
-            self._writer = None
+            self._retire_writer()
         if self.manifest.segments:
             last = self._segment_path(self.manifest.segments[-1])
             if last.exists() and last.stat().st_size < self.segment_max_bytes:
@@ -313,6 +353,32 @@ class LineageStore:
             ref = self._remap[ref]
         return ref
 
+    def _reader_for(self, segment: str) -> SegmentReader:
+        """The cached mmap reader of one segment (opened on first use)."""
+        with self._reader_lock:
+            reader = self._readers.get(segment)
+            if reader is None:
+                reader = SegmentReader(self._segment_path(segment))
+                self._readers[segment] = reader
+            return reader
+
+    def _drop_readers(self, segments: List[str]) -> None:
+        """Release the cached readers of retired/deleted segments.  Views
+        already handed out stay valid — the mappings survive through the
+        hydrated tables' buffer references until the last view is dropped."""
+        with self._reader_lock:
+            for name in segments:
+                reader = self._readers.pop(name, None)
+                if reader is not None:
+                    reader.close()
+
+    def reader_stats(self) -> dict:
+        with self._reader_lock:
+            return {
+                "open_readers": len(self._readers),
+                "mapped_bytes": sum(r.mapped_size for r in self._readers.values()),
+            }
+
     def load_table(self, ref: TableRef) -> CompressedLineage:
         attempts = 0
         while True:
@@ -320,15 +386,26 @@ class LineageStore:
             table = self.cache.get(resolved)
             if table is not None:
                 return table
+            writer = self._writer
+            if (
+                writer is not None
+                and writer.path.name == resolved.segment
+                and writer.pending_bytes
+            ):
+                # the record may still sit in the writer's coalescing
+                # buffer (appended, not yet group-committed): hand the
+                # batch to the OS so the mapping can see it
+                writer.flush_pending()
             try:
-                payload = read_record(
-                    self._segment_path(resolved.segment), resolved.offset, resolved.length
+                payload = self._reader_for(resolved.segment).read(
+                    resolved.offset, resolved.length
                 )
             except FileNotFoundError:
                 # an unpinned reader can race a compaction: it resolved the
                 # ref before the remap was published, then the old segment
-                # was deleted.  The remap is installed BEFORE the deletion,
-                # so re-resolving now must land on the relocated record.
+                # was deleted (and its mmap dropped).  The remap is
+                # installed BEFORE the deletion, so re-resolving now must
+                # land on the relocated record.
                 attempts += 1
                 if attempts > 3:
                     raise
@@ -364,9 +441,11 @@ class LineageStore:
         return (self.manifest.generation,)
 
     def close(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
-            self._writer = None
+        self._retire_writer()
+        with self._reader_lock:
+            for reader in self._readers.values():
+                reader.close()
+            self._readers = {}
         with self._pin_lock:
             if self._pins == 0:
                 self._delete_retired()
@@ -393,7 +472,11 @@ class LineageStore:
 
     def _delete_retired(self) -> None:
         """Delete segment files a compaction retired while pins were held.
-        Called with ``_pin_lock`` held."""
+        Called with ``_pin_lock`` held.  Readers re-opened for the retired
+        files in the meantime (a pinned snapshot resolving a dead, unmapped
+        ref) are dropped with them — otherwise each retired segment would
+        pin its mapping and fd for the store's lifetime."""
+        self._drop_readers(self._retired)
         for name in self._retired:
             path = self._segment_path(name)
             if path.exists():
@@ -446,8 +529,8 @@ class LineageStore:
             old_ref = self.resolve(TableRef.from_json(ref_dict))
             new_ref = mapping.get(old_ref)
             if new_ref is None:
-                payload = read_record(
-                    self._segment_path(old_ref.segment), old_ref.offset, old_ref.length
+                payload = bytes(
+                    self._reader_for(old_ref.segment).read(old_ref.offset, old_ref.length)
                 )
                 writer = self._active_writer()
                 offset, length = writer.append(payload)
@@ -472,6 +555,11 @@ class LineageStore:
                     if path.exists():
                         path.unlink()
                 retired = False
+        # drop the retired segments' mmap readers either way: deleting a
+        # mapped file is safe (POSIX keeps the pages), and tables hydrated
+        # before the compaction keep their views valid through the
+        # mappings' reference chain until the last view is released
+        self._drop_readers(old_segments)
         self.cache.clear()
         return {
             "records_copied": copied,

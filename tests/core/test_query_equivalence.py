@@ -220,6 +220,96 @@ class TestKeyRangePassEquivalence:
         assert len(compress(relation, relative=False)) == 5000
 
 
+class TestNarrowDtypeEquivalence:
+    """Hydrated (narrow-dtype) tables must answer every kernel identically
+    to their int64 originals AND to the loop oracles — the zero-copy fast
+    path must not change a single output bit."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("key", ["output", "input"])
+    def test_theta_join_on_hydrated_tables(self, seed, key):
+        from repro.core.serialize import deserialize_compressed, serialize_compressed
+
+        rng = np.random.default_rng(seed + 1000)
+        narrow_seen = False
+        for _ in range(25):
+            relation = random_relation(rng)
+            table = compress(relation, key=key)
+            hydrated = deserialize_compressed(serialize_compressed(table))
+            if len(table) and hydrated.key_lo.dtype != np.int64:
+                narrow_seen = True
+            shape = relation.out_shape if key == "output" else relation.in_shape
+            name = relation.out_name if key == "output" else relation.in_name
+            n_boxes = int(rng.integers(0, 8))
+            lo, hi = random_boxes(rng, len(shape), n_boxes, coord_range=max(shape), max_extent=2)
+            query = CellBoxSet(name, shape, lo, hi)
+            got = theta_join(query, hydrated)
+            want_int64 = theta_join(query, table)
+            oracle = theta_join_reference(query, hydrated)
+            for other in (want_int64, oracle):
+                assert_box_sets_identical(got, other)
+            assert got.lo.dtype == np.int64  # box sets stay canonical int64
+        assert narrow_seen, "the hydration path never produced a narrow table"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("relative", [True, False])
+    def test_key_range_pass_on_narrow_columns(self, seed, relative):
+        # feed the run scan int8 columns directly: output values must match
+        # the oracle run on the same narrow inputs AND the int64 run
+        rng = np.random.default_rng(seed + 2000)
+        for _ in range(25):
+            relation = random_relation(rng).deduplicated()
+            l = relation.out_ndim
+            key_cols, val_cols = relation.rows[:, :l], relation.rows[:, l:]
+            klo, khi, vlo, vhi = _value_range_pass(
+                key_cols.astype(np.int8), val_cols.astype(np.int8)
+            )
+            assert klo.dtype == np.int8  # the value pass preserved the width
+            vkind = np.zeros(vlo.shape, dtype=np.int8)
+            vref = np.full(vlo.shape, -1, dtype=np.int16)
+            args = (klo, khi, vkind, vref, vlo, vhi)
+            got = _key_range_pass(*(a.copy() for a in args), relative=relative)
+            want = key_range_pass_reference(*(a.copy() for a in args), relative=relative)
+            wide = _key_range_pass(
+                *(a.astype(np.int64) for a in args[:2]),
+                args[2].copy(),
+                args[3].copy(),
+                *(a.astype(np.int64) for a in args[4:]),
+                relative=relative,
+            )
+            for g, w, x in zip(got, want, wide):
+                assert np.array_equal(g, w)
+                assert g.dtype == w.dtype
+                assert np.array_equal(g, x)
+
+    def test_narrow_contiguity_probe_does_not_wrap(self):
+        # two int8 runs meeting exactly at the dtype ceiling: ``hi + 1``
+        # wraps to -128 in int8, which would break the merge either way
+        # (false merge or missed merge); the int64 probe must see 126|127
+        # as contiguous and merge them
+        klo = np.array([[126], [127]], dtype=np.int8)
+        khi = np.array([[126], [127]], dtype=np.int8)
+        vkind = np.zeros((2, 1), dtype=np.int8)
+        vref = np.full((2, 1), -1, dtype=np.int16)
+        vlo = np.zeros((2, 1), dtype=np.int8)
+        vhi = np.zeros((2, 1), dtype=np.int8)
+        got = _key_range_pass(klo, khi, vkind, vref, vlo, vhi, relative=True)
+        assert got[0].shape[0] == 1
+        assert int(got[0][0, 0]) == 126 and int(got[1][0, 0]) == 127
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_merge_boxes_on_narrow_inputs(self, seed):
+        rng = np.random.default_rng(seed + 3000)
+        for _ in range(40):
+            ndim = int(rng.integers(1, 4))
+            n = int(rng.integers(0, 40))
+            lo, hi = random_boxes(rng, ndim, n)
+            got = merge_boxes(lo.astype(np.int8), hi.astype(np.int8))
+            want = merge_boxes_reference(lo, hi)
+            assert np.array_equal(got[0], want[0])
+            assert np.array_equal(got[1], want[1])
+
+
 class TestCountCells:
     @pytest.mark.parametrize("seed", SEEDS)
     def test_matches_mask_count(self, seed):

@@ -62,7 +62,9 @@ def test_compare_flags_missing_and_tolerates_new():
         ({"a": 2.0}, [], 1),  # 2x > 1.5x: regression
         ({"a": 2.0}, ["--tolerance", "3"], 0),  # widened tolerance
         ({}, [], 1),  # baseline benchmark dropped
-        ({}, ["--allow-missing"], 0),  # ... unless explicitly allowed
+        # --allow-missing tolerates a PARTIAL run, but matching nothing at
+        # all would make the gate vacuous (e.g. after a rename): hard error
+        ({}, ["--allow-missing"], 2),
     ],
 )
 def test_main_exit_codes(tmp_path, fresh_means, extra_args, expected):
@@ -74,6 +76,23 @@ def test_main_exit_codes(tmp_path, fresh_means, extra_args, expected):
     assert code == expected
 
 
+def test_allow_missing_partial_run_still_passes(tmp_path):
+    # one matched benchmark is enough: the gate compared something real
+    baseline = bench_json(tmp_path / "baseline.json", {"a": 1.0, "b": 1.0, "c": 1.0})
+    fresh = bench_json(tmp_path / "fresh.json", {"a": 1.0})
+    assert check_regression.main(
+        [str(fresh), "--baseline", str(baseline), "--allow-missing"]
+    ) == 0
+
+
+def test_zero_matches_is_an_error_even_with_allow_missing(tmp_path):
+    baseline = bench_json(tmp_path / "baseline.json", {"a": 1.0})
+    fresh = bench_json(tmp_path / "fresh.json", {"renamed_a": 1.0})
+    assert check_regression.main(
+        [str(fresh), "--baseline", str(baseline), "--allow-missing"]
+    ) == 2
+
+
 def test_main_merges_multiple_baselines(tmp_path):
     base1 = bench_json(tmp_path / "b1.json", {"a": 1.0})
     base2 = bench_json(tmp_path / "b2.json", {"b": 1.0})
@@ -82,6 +101,54 @@ def test_main_merges_multiple_baselines(tmp_path):
         [str(fresh), "--baseline", str(base1), "--baseline", str(base2)]
     )
     assert code == 1  # the regression in the second baseline is caught
+
+
+class TestToleranceOverrides:
+    def test_parse_overrides(self):
+        parsed = check_regression.parse_overrides(["a=2.5", "suite::b=0.9"])
+        assert parsed == {"a": 2.5, "suite::b": 0.9}
+        assert check_regression.parse_overrides(None) == {}
+
+    @pytest.mark.parametrize("bad", ["no-equals", "=2.0", "a=zero", "a=-1", "a=0"])
+    def test_malformed_overrides_rejected(self, bad):
+        with pytest.raises(ValueError):
+            check_regression.parse_overrides([bad])
+
+    def test_exact_match_beats_substring(self):
+        overrides = {"suite::bench_a": 4.0, "bench": 2.0}
+        assert check_regression.tolerance_for("suite::bench_a", 1.5, overrides) == 4.0
+        assert check_regression.tolerance_for("suite::bench_b", 1.5, overrides) == 2.0
+        assert check_regression.tolerance_for("other", 1.5, overrides) == 1.5
+
+    def test_longest_substring_wins(self):
+        overrides = {"bench": 2.0, "bench_noisy": 5.0}
+        assert check_regression.tolerance_for("suite::bench_noisy[4]", 1.5, overrides) == 5.0
+        assert check_regression.tolerance_for("suite::bench_quiet", 1.5, overrides) == 2.0
+
+    def test_compare_applies_override(self):
+        regressions, _missing, report = check_regression.compare(
+            {"noisy": 1.0, "steady": 1.0},
+            {"noisy": 2.5, "steady": 2.5},
+            tolerance=1.5,
+            overrides={"noisy": 3.0},
+        )
+        assert regressions == ["steady"]
+        assert any("limit 3.00x" in line for line in report)
+
+    def test_main_with_override_flag(self, tmp_path):
+        baseline = bench_json(tmp_path / "baseline.json", {"a": 1.0, "b": 1.0})
+        fresh = bench_json(tmp_path / "fresh.json", {"a": 2.8, "b": 1.0})
+        args = [str(fresh), "--baseline", str(baseline)]
+        assert check_regression.main(args) == 1
+        assert check_regression.main(args + ["--tolerance-override", "a=3.0"]) == 0
+
+    def test_main_rejects_bad_override(self, tmp_path, capsys):
+        baseline = bench_json(tmp_path / "baseline.json", {"a": 1.0})
+        fresh = bench_json(tmp_path / "fresh.json", {"a": 1.0})
+        with pytest.raises(SystemExit):
+            check_regression.main(
+                [str(fresh), "--baseline", str(baseline), "--tolerance-override", "a"]
+            )
 
 
 def test_main_bad_input_is_a_usage_error(tmp_path):
