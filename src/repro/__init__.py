@@ -19,6 +19,11 @@ Public entry points
   :class:`repro.LineageClient` — the serving tier: parallel shard
   fan-out behind a generation-keyed result cache, exposed over a stdlib
   HTTP JSON API (``dslog.serve(port)`` / ``LineageClient.connect(url)``).
+* :mod:`repro.faults` — deterministic fault injection (:class:`FaultPlan`)
+  and the failure-domain primitives (:class:`CircuitBreaker`, the
+  structured :class:`DeadlineExceeded` / :class:`IngestOverloaded` /
+  :class:`ShardUnavailable` errors) behind the self-healing storage and
+  degraded-serving paths (``python -m repro.tools.scrub`` heals on disk).
 * :mod:`repro.baselines` — the storage/query baselines of the evaluation.
 * :mod:`repro.workloads` — workload and dataset generators.
 * :mod:`repro.experiments` — one harness per paper table/figure.
@@ -29,6 +34,15 @@ from .core.provrc import compress, compress_both
 from .core.query import CellBoxSet, QueryResult
 from .core.relation import LineageRelation
 from .dslog import DSLog
+from .faults import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    FaultPlan,
+    FaultRule,
+    IngestOverloaded,
+    InjectedFault,
+    ShardUnavailable,
+)
 from .graph import LineageGraph
 from .service import (
     IngestTicket,
@@ -44,6 +58,13 @@ __version__ = "0.4.0"
 
 __all__ = [
     "DSLog",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "IngestOverloaded",
+    "ShardUnavailable",
     "LineageRelation",
     "LineageGraph",
     "LineageStore",

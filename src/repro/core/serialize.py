@@ -206,6 +206,25 @@ def deserialize_table(data) -> CompressedLineage:
     return deserialize_compressed_gzip(data)
 
 
+def peek_table_identity(data) -> Tuple[str, str, str]:
+    """Decode only ``(key_side, in_name, out_name)`` from a serialized
+    table payload (plain or gzip), without touching the column bytes.
+
+    The scrub subsystem uses this to verify that the record a manifest ref
+    points at really *is* the table the row claims — a checksum proves the
+    payload is intact, not that it belongs to this entry.  Raises
+    ``ValueError`` (or ``zlib.error``) when the payload is not a table.
+    """
+    view = memoryview(data)
+    if bytes(view[:4]) != _MAGIC:
+        view = memoryview(zlib.decompress(view))
+        if bytes(view[:4]) != _MAGIC:
+            raise ValueError("not a serialized ProvRC table")
+    (header_len,) = struct.unpack("<I", bytes(view[4:8]))
+    header = json.loads(bytes(view[8 : 8 + header_len]).decode("utf-8"))
+    return header["key_side"], header["in_name"], header["out_name"]
+
+
 def write_compressed(
     table: CompressedLineage,
     path: Union[str, Path],

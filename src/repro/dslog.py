@@ -65,6 +65,7 @@ from .core.compressed import CompressedLineage
 from .core.query import CellBoxSet, QueryResult, execute_path
 from .core.relation import LineageRelation
 from .core.serialize import write_compressed
+from .faults import FaultPlan
 from .graph import LineageGraph
 from .reuse.signatures import OperationSignature, ReuseManager
 from .storage.catalog import ArrayInfo, Catalog, LineageEntry, OperationRecord
@@ -127,6 +128,7 @@ class DSLog:
         autosync: bool = True,
         segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
         num_shards: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if backend not in ("memory", "segment", "sharded"):
             raise ValueError(
@@ -137,6 +139,7 @@ class DSLog:
         self.backend = backend
         self.root = Path(root) if root is not None else None
         self.gzip = gzip
+        self.faults = faults
         self.reuse_confirmations = int(reuse_confirmations)
         self.autosync = autosync
         self._reuse: Optional[ReuseManager] = None
@@ -158,6 +161,7 @@ class DSLog:
                 gzip=gzip,
                 cache_bytes=cache_bytes,
                 segment_max_bytes=segment_max_bytes,
+                faults=faults,
             )
             self.gzip = self.store.gzip
             self.catalog: Catalog = StoredCatalog(self.store)
@@ -171,6 +175,7 @@ class DSLog:
                 gzip=gzip,
                 cache_bytes=cache_bytes,
                 segment_max_bytes=segment_max_bytes,
+                faults=faults,
             )
             self.gzip = self.store.gzip
             self.catalog = ShardedCatalog(self.store)
@@ -737,6 +742,72 @@ class DSLog:
         stats = self.store.compact()
         self._pending_reuse_state = self.store.manifest.reuse
         return stats
+
+    def scrub(self, repair: bool = False) -> dict:
+        """fsck the durable catalog: verify every manifest-referenced
+        record (structure and checksums), find torn tails and orphan
+        segments; with ``repair=True``, quarantine the damage and heal
+        with zero valid-record loss (a damaged orientation is rebuilt from
+        its intact sibling; see :mod:`repro.storage.scrub`).  Entries
+        whose *both* orientations were damaged are dropped from the
+        catalog.  Returns the scrub report (sharded backend: a per-shard
+        report under ``"shards"``)."""
+        if self.backend not in ("segment", "sharded"):
+            raise RuntimeError("scrub() requires the segment or sharded backend")
+        if self.backend == "segment":
+            report = self.store.scrub(repair=repair)
+            dropped = report["dropped_entries"]
+        else:
+            report = self.store.scrub(repair=repair)
+            dropped = [
+                pair
+                for shard_report in report["shards"].values()
+                for pair in shard_report["dropped_entries"]
+            ]
+        if repair and dropped:
+            # the manifest rows are already gone; drop the in-memory lazy
+            # entries too, or the next sync would resurrect dangling refs
+            for raw in dropped:
+                pair = tuple(raw)
+                self.catalog._entries.pop(pair, None)
+                if hasattr(self.catalog, "_entry_refs"):
+                    self.catalog._entry_refs.pop(pair, None)
+                if hasattr(self.catalog, "_rows"):
+                    self.catalog._rows.pop(pair, None)
+            self.catalog.version += 1
+            self._graph = None
+            self._path_cache.clear()
+        if repair and not report.get("clean", True):
+            self.refresh_entry_refs()
+        return report
+
+    def refresh_entry_refs(self) -> None:
+        """Re-point in-memory entries at the manifest's current refs.
+
+        A repair (scrub, shard reopen) can rebuild an orientation at a new
+        address that the remap chain cannot carry: a misdirected ref
+        aliases another entry's *valid* record, so remapping it would
+        misdirect that donor in turn.  The healed manifest rows are
+        authoritative — fold their refs back into the catalog so live
+        queries resolve the healed records, and so the segment backend's
+        next :meth:`sync` (which rebuilds rows from these refs) does not
+        republish the stale, pre-repair addresses.
+        """
+        if self.backend == "segment":
+            items = [((row["in"], row["out"]), row) for row in self.store.manifest.entries]
+        elif self.backend == "sharded":
+            items = list(self.catalog._rows.items())
+        else:
+            return
+        for pair, row in items:
+            backward_ref = TableRef.from_json(row["backward"])
+            forward_ref = TableRef.from_json(row["forward"])
+            entry = self.catalog._entries.get(pair)
+            if isinstance(entry, StoredLineageEntry):
+                entry.backward_ref = backward_ref
+                entry.forward_ref = forward_ref
+            if hasattr(self.catalog, "_entry_refs") and pair in self.catalog._entry_refs:
+                self.catalog._entry_refs[pair] = (backward_ref, forward_ref)
 
     def executor(
         self,

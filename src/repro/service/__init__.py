@@ -23,7 +23,7 @@ ingest and snapshot-isolated readers.
 """
 
 from .pipeline import IngestTicket, LineageService, ServiceClosedError
-from .query import QueryExecutor, ResultCache
+from .query import QueryExecutor, QueryOutcome, ResultCache
 from .server import (
     LineageClient,
     LineageConnectionError,
@@ -50,6 +50,7 @@ __all__ = [
     "SnapshotReadOnlyError",
     "take_snapshot",
     "QueryExecutor",
+    "QueryOutcome",
     "ResultCache",
     "LineageServer",
     "LineageClient",

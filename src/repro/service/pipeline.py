@@ -16,7 +16,10 @@ round trip.  The service decouples the three:
   capture callables, exactly the ``register_operation`` surface — and
   returns an :class:`IngestTicket` immediately.  When the queue is full the
   call blocks: backpressure, so an ingest storm cannot grow memory without
-  bound.
+  bound.  The wait is *bounded*: after ``submit_timeout`` seconds the call
+  raises a structured :class:`repro.faults.IngestOverloaded` (carrying the
+  queue depth) instead of blocking indefinitely, so a stalled committer
+  cannot wedge every producer thread.
 * **Workers** pop operations and run the expensive part — signature
   fingerprinting, reuse lookup, ProvRC compression, table serialization —
   with no lock held; only the per-shard segment append and the catalog
@@ -43,6 +46,7 @@ round trip.  The service decouples the three:
 
 from __future__ import annotations
 
+import errno
 import queue
 import threading
 import time
@@ -50,12 +54,14 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..dslog import DSLog
+from ..faults import DeadlineExceeded, IngestOverloaded
 from ..storage.store import DEFAULT_CACHE_BYTES, DEFAULT_SEGMENT_MAX_BYTES
 from .shards import DEFAULT_NUM_SHARDS
 
 __all__ = ["IngestTicket", "LineageService", "ServiceClosedError"]
 
 _SENTINEL = object()
+_DEFAULT_TIMEOUT = object()  # submit(timeout=...) not given: use the service default
 
 
 class ServiceClosedError(RuntimeError):
@@ -79,6 +85,7 @@ class IngestTicket:
         "_record",
         "_error",
         "_event",
+        "_applied_epoch",
     )
 
     def __init__(self, spec: Dict[str, Any]) -> None:
@@ -89,6 +96,7 @@ class IngestTicket:
         self._record: Any = None
         self._error: Optional[BaseException] = None
         self._event = threading.Event()
+        self._applied_epoch = 0  # store torn-write epoch when the op applied
 
     # -- service-side transitions --------------------------------------
     def _mark_applied(self, record: Any) -> None:
@@ -124,9 +132,14 @@ class IngestTicket:
     def result(self, timeout: Optional[float] = None) -> Any:
         """The ingested :class:`OperationRecord` (or the lineage entry for
         ``submit_lineage``), once durable.  Re-raises the worker's
-        exception for a failed operation."""
+        exception for a failed operation.  An expired *timeout* raises
+        :class:`repro.faults.DeadlineExceeded` (a ``TimeoutError``
+        subclass, so existing ``except TimeoutError`` handlers keep
+        working)."""
         if not self._event.wait(timeout):
-            raise TimeoutError("operation not durable within the timeout")
+            raise DeadlineExceeded(
+                f"operation not durable within {timeout}s (ticket still pending)"
+            )
         if self._error is not None:
             raise self._error
         return self._record
@@ -156,6 +169,11 @@ class LineageService:
     queue_size:
         Bound of the ingest queue; a full queue blocks ``submit``
         (backpressure).
+    submit_timeout:
+        Default bound, in seconds, on how long ``submit`` may block on a
+        full queue before raising :class:`repro.faults.IngestOverloaded`.
+        ``None`` restores the old block-forever behaviour; a per-call
+        ``timeout=`` overrides it.
     commit_interval:
         Group-commit window in seconds.  The committer publishes at most
         once per window (a ``flush()`` overrides it), so concurrent writers
@@ -173,6 +191,7 @@ class LineageService:
         log: Optional[DSLog] = None,
         workers: int = 2,
         queue_size: int = 256,
+        submit_timeout: Optional[float] = 30.0,
         commit_interval: float = 0.002,
         num_shards: int = DEFAULT_NUM_SHARDS,
         gzip: bool = True,
@@ -199,6 +218,8 @@ class LineageService:
             )
         log.autosync = False  # the committer owns publishing
         self.log = log
+        self.faults = getattr(log, "faults", None)
+        self.submit_timeout = submit_timeout
         self.commit_interval = float(commit_interval)
         self._queue: "queue.Queue" = queue.Queue(maxsize=int(queue_size))
         self._cv = threading.Condition()
@@ -212,6 +233,7 @@ class LineageService:
         # counters (read under _cv)
         self.submitted = 0
         self.failed = 0
+        self.overloaded = 0
         self.commits = 0
         self.committed_ops = 0
         self.largest_commit = 0
@@ -247,13 +269,15 @@ class LineageService:
         op_args: Optional[Mapping[str, Any]] = None,
         reuse: bool = True,
         replace: bool = False,
-        timeout: Optional[float] = None,
+        timeout: Any = _DEFAULT_TIMEOUT,
     ) -> IngestTicket:
         """Enqueue one operation for async ingest; returns immediately.
 
         Mirrors :meth:`DSLog.register_operation`.  Blocks only when the
-        ingest queue is full (backpressure) — pass *timeout* to bound that
-        wait (``queue.Full`` is raised on expiry).
+        ingest queue is full (backpressure).  The wait is bounded by
+        *timeout* (default: the service's ``submit_timeout``); on expiry a
+        structured :class:`repro.faults.IngestOverloaded` carrying the
+        queue depth is raised.  ``timeout=None`` blocks indefinitely.
         """
         spec = dict(
             kind="operation",
@@ -277,7 +301,7 @@ class LineageService:
         capture=None,
         op_name: Optional[str] = None,
         replace: bool = False,
-        timeout: Optional[float] = None,
+        timeout: Any = _DEFAULT_TIMEOUT,
     ) -> IngestTicket:
         """Enqueue a single lineage pair (mirrors :meth:`DSLog.add_lineage`)."""
         spec = dict(
@@ -291,18 +315,28 @@ class LineageService:
         )
         return self._enqueue(spec, timeout)
 
-    def _enqueue(self, spec: Dict[str, Any], timeout: Optional[float]) -> IngestTicket:
+    def _enqueue(self, spec: Dict[str, Any], timeout: Any) -> IngestTicket:
         self._check_open()
+        if timeout is _DEFAULT_TIMEOUT:
+            timeout = self.submit_timeout
         ticket = IngestTicket(spec)
         with self._cv:
             self._inflight += 1
             self.submitted += 1
         try:
             self._queue.put(ticket, timeout=timeout)
-        except BaseException:
+        except BaseException as error:
             with self._cv:
                 self._inflight -= 1
                 self.submitted -= 1
+                self.overloaded += isinstance(error, queue.Full)
+            if isinstance(error, queue.Full):
+                raise IngestOverloaded(
+                    f"ingest queue full ({self._queue.maxsize} deep) for "
+                    f"{timeout}s; the service is overloaded or its committer "
+                    f"is stalled",
+                    queue_depth=self._queue.qsize(),
+                ) from None
             raise
         return ticket
 
@@ -323,9 +357,22 @@ class LineageService:
             finally:
                 self._queue.task_done()
 
+    def _torn_epoch(self) -> int:
+        """The backing store's torn-write count (0 for backends that cannot
+        tear, e.g. memory)."""
+        epoch_fn = getattr(getattr(self.log, "store", None), "torn_epoch", None)
+        return 0 if epoch_fn is None else epoch_fn()
+
     def _apply(self, ticket: IngestTicket) -> None:
         spec = ticket.spec
+        # snapshot the torn-write epoch before touching the catalog: if a
+        # torn flush destroys pending bytes while this op is mid-apply, its
+        # record may be among them — the commit-time epoch check will
+        # refuse to acknowledge it
+        epoch = self._torn_epoch()
         try:
+            if self.faults is not None:
+                self.faults.check("service.worker", "pipeline")
             if spec["kind"] == "operation":
                 record = self.log.register_operation(
                     spec["op_name"],
@@ -355,6 +402,7 @@ class LineageService:
                 self._cv.notify_all()
         else:
             ticket._mark_applied(record)
+            ticket._applied_epoch = epoch
             with self._cv:
                 self._inflight -= 1
                 self._applied.append(ticket)
@@ -394,6 +442,10 @@ class LineageService:
 
     def _commit(self, batch: List[IngestTicket]) -> None:
         try:
+            if self.faults is not None:
+                # "stall" rules model a slow committer (fsync on a sick
+                # disk); "error" rules fail the whole batch — all-or-nothing
+                self.faults.check("service.commit", "pipeline")
             self.log.sync()
         except BaseException as error:
             with self._cv:
@@ -402,13 +454,29 @@ class LineageService:
                     ticket._mark_failed(error)
                 self._cv.notify_all()
         else:
+            # the sync published a manifest, but durability is per ticket:
+            # a torn write since a ticket applied may have destroyed its
+            # record bytes (the op raced the failing flush), so only
+            # tickets applied at the current epoch are acknowledged — the
+            # rest fail, their dangling rows are scrub's to reconcile
+            epoch = self._torn_epoch()
             now = time.monotonic()
             with self._cv:
                 self.commits += 1
-                self.committed_ops += len(batch)
-                self.largest_commit = max(self.largest_commit, len(batch))
                 for ticket in batch:
+                    if ticket._applied_epoch != epoch:
+                        self.failed += 1
+                        ticket._mark_failed(
+                            OSError(
+                                errno.EIO,
+                                "a torn segment write overlapped this "
+                                "operation; its record bytes may be lost",
+                            )
+                        )
+                        continue
+                    self.committed_ops += 1
                     ticket._mark_durable(now)
+                self.largest_commit = max(self.largest_commit, len(batch))
                 self._cv.notify_all()
 
     # ------------------------------------------------------------------
@@ -456,6 +524,7 @@ class LineageService:
             return {
                 "submitted": self.submitted,
                 "failed": self.failed,
+                "overloaded": self.overloaded,
                 "inflight": self._inflight,
                 "applied_pending_commit": len(self._applied),
                 "commits": self.commits,

@@ -44,6 +44,28 @@ The dependency vector is read *before* entries are resolved (the same
 read-version-first protocol as ``DSLog.prov_query``): a writer landing
 mid-execution makes the cached entry validate as stale on the next lookup
 rather than ever serving a result fresher than its key claims.
+
+Degraded serving
+----------------
+Invalidated cache entries are kept (marked stale by their dependency
+vector) rather than deleted, because they are the *degraded* answer: each
+shard is wrapped in a :class:`~repro.faults.CircuitBreaker`, and when a
+query's home shard has a tripped breaker, the executor serves the last
+known result for that exact query — flagged ``degraded=True`` in the
+returned :class:`QueryOutcome` — instead of touching the failing disk.
+With no stale result to fall back on it raises the structured
+:class:`~repro.faults.ShardUnavailable`, never a hang or a bare
+``OSError``.  A half-open breaker lets exactly one query probe recovery:
+the shard is reopened-with-scrub
+(:meth:`~repro.service.shards.ShardedLineageStore.reopen_shard`), and the
+breaker closes only when that heal succeeds.
+
+Deadlines: ``query(..., deadline=seconds)`` (or the constructor-wide
+``default_deadline``) bounds the pooled per-shard prefetch and per-path
+execution; a shard that stalls past the budget raises
+:class:`~repro.faults.DeadlineExceeded` (and counts against its breaker)
+instead of wedging the request.  The sequential executor (``max_workers=1``)
+runs everything inline and cannot enforce deadlines.
 """
 
 from __future__ import annotations
@@ -51,15 +73,38 @@ from __future__ import annotations
 import hashlib
 import os
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from ..core.query import QueryResult, execute_path
+from ..faults import CircuitBreaker, DeadlineExceeded, ShardUnavailable
+from ..storage.segments import CorruptRecordError
 
-__all__ = ["ResultCache", "QueryExecutor", "DEFAULT_CACHE_ENTRIES"]
+__all__ = [
+    "ResultCache",
+    "QueryExecutor",
+    "QueryOutcome",
+    "DEFAULT_CACHE_ENTRIES",
+]
 
 DEFAULT_CACHE_ENTRIES = 256
+
+
+class QueryOutcome(NamedTuple):
+    """What :meth:`QueryExecutor.query` returns.
+
+    ``result`` is the :class:`~repro.core.query.QueryResult`; ``cached``
+    says whether it came from the result cache; ``degraded`` marks a
+    stale cache entry served because the query's home shard is behind a
+    tripped circuit breaker (the freshness contract is then "last known
+    answer", not "current generation").
+    """
+
+    result: Any
+    cached: bool
+    degraded: bool
 
 # (shard index, applied-version) pairs a cached result was computed from
 DepVector = Tuple[Tuple[int, int], ...]
@@ -70,8 +115,11 @@ class ResultCache:
 
     Thread-safe: the HTTP server's handler threads and the executor's own
     pool all go through here.  An entry *hits* only when every shard it
-    depends on still has the version it was computed at; otherwise it is
-    dropped (counted as an invalidation) and the caller recomputes.
+    depends on still has the version it was computed at; a stale entry is
+    counted as an invalidation but **kept** — it is the degraded answer
+    :meth:`lookup_stale` serves while the shard that could refresh it is
+    behind a tripped breaker.  (A recompute overwrites it in place; LRU
+    eviction reclaims it like any other entry.)
     """
 
     def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
@@ -82,6 +130,7 @@ class ResultCache:
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        self.stale_hits = 0
 
     @property
     def enabled(self) -> bool:
@@ -103,13 +152,28 @@ class ResultCache:
             deps, value = item
             for shard, version in deps:
                 if live_versions.get(shard, version) != version:
-                    del self._items[key]
+                    # stale: miss, but keep the entry — it is the degraded
+                    # fallback should this query's shard become unavailable
                     self.invalidations += 1
                     self.misses += 1
                     return False, None
             self._items.move_to_end(key)
             self.hits += 1
             return True, value
+
+    def lookup_stale(self, key: bytes) -> Tuple[bool, Any]:
+        """Return the entry under *key* regardless of dependency freshness
+        — the degraded-serving path.  ``(False, None)`` when the query was
+        never cached (or already evicted)."""
+        if not self.enabled:
+            return False, None
+        with self._lock:
+            item = self._items.get(key)
+            if item is None:
+                return False, None
+            self._items.move_to_end(key)
+            self.stale_hits += 1
+            return True, item[1]
 
     def store(self, key: bytes, deps: DepVector, value: Any) -> None:
         if not self.enabled:
@@ -134,6 +198,7 @@ class ResultCache:
                 "misses": self.misses,
                 "invalidations": self.invalidations,
                 "evictions": self.evictions,
+                "stale_hits": self.stale_hits,
             }
 
 
@@ -152,6 +217,14 @@ class QueryExecutor:
         ``min(8, max(2, os.cpu_count()))``.
     cache_entries:
         Capacity of the :class:`ResultCache`; ``0`` disables caching.
+    default_deadline:
+        Seconds each query may spend in pooled prefetch/execution before
+        :class:`~repro.faults.DeadlineExceeded`; ``None`` (default) means
+        unbounded.  Per-call ``deadline`` overrides it.
+    breaker_failures / breaker_reset_after:
+        Per-shard circuit-breaker tuning: consecutive faults before a
+        shard is declared unavailable, and seconds before a half-open
+        recovery probe is allowed.
     """
 
     def __init__(
@@ -159,12 +232,22 @@ class QueryExecutor:
         log,
         max_workers: Optional[int] = None,
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        default_deadline: Optional[float] = None,
+        breaker_failures: int = 3,
+        breaker_reset_after: float = 30.0,
     ) -> None:
         if max_workers is None:
             max_workers = min(8, max(2, os.cpu_count() or 1))
         self.log = log
         self.max_workers = max(1, int(max_workers))
         self.cache = ResultCache(cache_entries)
+        self.default_deadline = default_deadline
+        self.breaker_failures = int(breaker_failures)
+        self.breaker_reset_after = float(breaker_reset_after)
+        # per-shard breakers, created on a shard's first recorded fault
+        # (pseudo-shard 0 covers the unsharded backends)
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
         self._pool = (
             ThreadPoolExecutor(
                 max_workers=self.max_workers, thread_name_prefix="lineage-query"
@@ -177,6 +260,87 @@ class QueryExecutor:
         self.queries = 0
         self.parallel_loads = 0
         self.parallel_paths = 0
+        self.degraded_serves = 0
+        self.deadline_misses = 0
+        self.shard_reopens = 0
+
+    # ------------------------------------------------------------------
+    # circuit breakers
+    # ------------------------------------------------------------------
+    def _breaker(self, shard: int) -> CircuitBreaker:
+        with self._breaker_lock:
+            breaker = self._breakers.get(shard)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failures=self.breaker_failures,
+                    reset_after=self.breaker_reset_after,
+                )
+                self._breakers[shard] = breaker
+            return breaker
+
+    def breaker_stats(self) -> Dict[int, dict]:
+        """Per-shard breaker state (shards with no recorded fault and no
+        gate check yet are simply absent) — surfaced by ``/healthz``."""
+        with self._breaker_lock:
+            return {shard: br.stats() for shard, br in self._breakers.items()}
+
+    def _home_shards(self, paths: Sequence[Sequence[str]]) -> Set[int]:
+        """The shards a planned query will read from (``{0}`` on the
+        unsharded backends, which have a single failure domain)."""
+        catalog = self.log.catalog
+        entry_shard = getattr(catalog, "entry_shard", None)
+        if entry_shard is None:
+            return {0}
+        shards: Set[int] = set()
+        for path in paths:
+            for first, second in zip(path, path[1:]):
+                entry, _ = catalog.entry_between(first, second)
+                shards.add(entry_shard((entry.in_name, entry.out_name)))
+        return shards
+
+    def _fault_shard(self, exc: BaseException, shards: Set[int]) -> int:
+        """Attribute a fault to the shard it came from: the exception's
+        own scope/shard/path metadata when present, else the query's only
+        home shard, else the lowest (deterministic) candidate."""
+        shard = getattr(exc, "shard", None)
+        if isinstance(shard, int):
+            return shard
+        for hint in (getattr(exc, "scope", None), getattr(exc, "path", None)):
+            if hint is None:
+                continue
+            name = hint if isinstance(hint, str) else hint.parent.name
+            if isinstance(name, str) and name.startswith("shard-"):
+                try:
+                    return int(name.split("-", 1)[1])
+                except ValueError:
+                    pass
+        return min(shards) if shards else 0
+
+    def _maybe_probe(self, shard: int) -> None:
+        """Claim a half-open breaker's single recovery probe and attempt
+        reopen-with-scrub; success closes the breaker, failure re-opens it
+        (restarting the reset clock)."""
+        breaker = self._breakers.get(shard)
+        if breaker is None or not breaker.try_probe():
+            return
+        store = getattr(self.log, "store", None)
+        try:
+            if hasattr(store, "reopen_shard"):
+                store.reopen_shard(shard)
+            elif hasattr(store, "reset_io"):
+                store.reset_io()
+                store.scrub(repair=True)
+            # the repair may have rebuilt records at addresses the remap
+            # chain cannot reach (misdirected refs alias valid records);
+            # re-point the in-memory entries at the healed manifest rows
+            refresh = getattr(self.log, "refresh_entry_refs", None)
+            if refresh is not None:
+                refresh()
+            breaker.record_success()
+            with self._stats_lock:
+                self.shard_reopens += 1
+        except Exception:
+            breaker.record_failure()
 
     # ------------------------------------------------------------------
     # dependency vectors
@@ -235,17 +399,30 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # the read API
     # ------------------------------------------------------------------
-    def query(self, path: Sequence[str], query_cells, merge: bool = True):
-        """Run one lineage query; returns ``(QueryResult, served_from_cache)``.
+    def query(
+        self,
+        path: Sequence[str],
+        query_cells,
+        merge: bool = True,
+        deadline: Optional[float] = None,
+    ) -> QueryOutcome:
+        """Run one lineage query; returns a :class:`QueryOutcome`
+        (``result, cached, degraded`` — index ``[0]``/``[1]`` keeps the
+        old 2-tuple call sites working).
 
         Semantics match :meth:`DSLog.prov_query` exactly (including graph
         planning of two-array paths); the differences are the cache in
-        front and the parallel fan-out behind.
+        front, the parallel fan-out behind, and the failure envelope: a
+        *deadline* (seconds; ``default_deadline`` when omitted) bounds the
+        pooled fan-out with :class:`~repro.faults.DeadlineExceeded`, and a
+        query whose home shard is faulting serves its last cached answer
+        flagged degraded (or raises the structured
+        :class:`~repro.faults.ShardUnavailable`) instead of hanging.
         """
-        return self._query(path, query_cells, merge, parallel=True)
+        return self._query(path, query_cells, merge, parallel=True, deadline=deadline)
 
     def prov_query(self, path: Sequence[str], query_cells, merge: bool = True) -> QueryResult:
-        """:meth:`query` without the cache flag — drop-in for ``DSLog.prov_query``."""
+        """:meth:`query` without the outcome flags — drop-in for ``DSLog.prov_query``."""
         return self.query(path, query_cells, merge=merge)[0]
 
     def map_queries(self, requests: Sequence[Tuple[Sequence[str], Any]]):
@@ -262,7 +439,14 @@ class QueryExecutor:
         ]
         return [future.result()[0] for future in futures]
 
-    def _query(self, path: Sequence[str], query_cells, merge: bool, parallel: bool):
+    def _query(
+        self,
+        path: Sequence[str],
+        query_cells,
+        merge: bool,
+        parallel: bool,
+        deadline: Optional[float] = None,
+    ) -> QueryOutcome:
         """The one cache + plan + fan-out pipeline behind every query entry
         point; *parallel* toggles the pool fan-out (False inside batch
         tasks, which already run on the pool)."""
@@ -281,20 +465,77 @@ class QueryExecutor:
         live = self._live_versions()
         hit, value = self.cache.lookup(key, live)
         if hit:
-            return value, True
+            return QueryOutcome(value, True, False)
 
         with self._stats_lock:
             self.queries += 1
+        if deadline is None:
+            deadline = self.default_deadline
+        deadline_at = time.monotonic() + deadline if deadline is not None else None
+
         pin = self._pin_stores()
         try:
             paths, direct = self._plan(path)
+            shards = self._home_shards(paths)
+
+            # breaker gate: a tripped home shard means the failing disk is
+            # not touched at all — serve the stale answer or refuse cleanly
+            blocked = {s for s in shards if not self._breaker_allows(s)}
+            if blocked:
+                return self._degrade(key, blocked)
+
             deps = self._path_deps(live, paths[0]) if direct else self._full_deps(live)
-            result = self._execute_paths(paths, box_set, merge, parallel=parallel)
+            try:
+                result = self._execute_paths(
+                    paths, box_set, merge, parallel=parallel, deadline_at=deadline_at
+                )
+            except DeadlineExceeded as exc:
+                with self._stats_lock:
+                    self.deadline_misses += 1
+                shard = exc.shard if exc.shard is not None else self._fault_shard(exc, shards)
+                self._breaker(shard).record_failure()
+                return self._degrade(key, {shard}, cause=exc)
+            except (OSError, CorruptRecordError) as exc:
+                shard = self._fault_shard(exc, shards)
+                self._breaker(shard).record_failure()
+                return self._degrade(key, {shard}, cause=exc)
+            for shard in shards:
+                breaker = self._breakers.get(shard)
+                if breaker is not None:
+                    breaker.record_success()
         finally:
             if pin is not None:
                 pin()
         self.cache.store(key, deps, result)
-        return result, False
+        return QueryOutcome(result, False, False)
+
+    def _breaker_allows(self, shard: int) -> bool:
+        """Gate one home shard: closed passes; half-open triggers (at most)
+        one reopen-with-scrub probe and passes only if it healed."""
+        breaker = self._breakers.get(shard)
+        if breaker is None or breaker.allows():
+            return True
+        self._maybe_probe(shard)
+        breaker = self._breakers.get(shard)
+        return breaker is None or breaker.allows()
+
+    def _degrade(self, key: bytes, blocked: Set[int], cause=None) -> QueryOutcome:
+        """Serve the stale cached answer for an unavailable-shard query,
+        or raise structured :class:`~repro.faults.ShardUnavailable` /
+        re-raise the underlying fault when there is nothing to serve."""
+        stale_hit, stale = self.cache.lookup_stale(key)
+        if stale_hit:
+            with self._stats_lock:
+                self.degraded_serves += 1
+            return QueryOutcome(stale, True, True)
+        if cause is not None:
+            raise cause
+        shard = min(blocked)
+        raise ShardUnavailable(
+            f"shard {shard} is unavailable (circuit breaker open) and this "
+            f"query has no cached result to degrade to",
+            shard=shard,
+        )
 
     def impact(self, name: str) -> Dict[str, int]:
         """Cached :meth:`DSLog.impact` (keyed on the full shard vector —
@@ -352,49 +593,96 @@ class QueryExecutor:
             for first, second in zip(path, path[1:])
         ]
 
-    def _prefetch_tables(self, paths: Sequence[Sequence[str]]) -> None:
+    @staticmethod
+    def _remaining(deadline_at: Optional[float], shard: Optional[int]) -> Optional[float]:
+        """Seconds left in the budget; raises when already exhausted."""
+        if deadline_at is None:
+            return None
+        remaining = deadline_at - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded("query deadline exceeded", shard=shard)
+        return remaining
+
+    def _prefetch_tables(
+        self, paths: Sequence[Sequence[str]], deadline_at: Optional[float] = None
+    ) -> None:
         """Materialize every hop table, grouped by home shard on the pool.
 
         Lazy entries hydrate through their shard's segment reader and LRU
         cache; grouping by shard means two shards' reads + gunzips overlap
         while each shard's own reads stay sequential (one file cursor, one
         cache) — the per-shard fan-out of the serving tier.
+
+        With a deadline, each shard's hydration is awaited against the
+        remaining budget: one slow/stalled shard raises
+        :class:`~repro.faults.DeadlineExceeded` naming it, instead of
+        wedging the whole query.  (The unsharded backends hydrate as
+        pseudo-shard 0 so the deadline applies there too.)
         """
+        if self._pool is None:
+            return  # sequential executor: loads happen in-line, unbounded
         catalog = self.log.catalog
         entry_shard = getattr(catalog, "entry_shard", None)
-        if self._pool is None or entry_shard is None:
-            return  # sequential executor or unsharded: loads happen in-line
         by_shard: Dict[int, List[Tuple[Any, str]]] = {}
         for path in paths:
             for first, second in zip(path, path[1:]):
                 entry, _ = catalog.entry_between(first, second)
                 pair = (entry.in_name, entry.out_name)
-                by_shard.setdefault(entry_shard(pair), []).append((entry, first))
-        if len(by_shard) <= 1:
-            return
+                shard = entry_shard(pair) if entry_shard is not None else 0
+                by_shard.setdefault(shard, []).append((entry, first))
+        if len(by_shard) <= 1 and deadline_at is None:
+            return  # single failure domain, no budget: skip the pool hop
 
         def load(tasks: List[Tuple[Any, str]]) -> None:
             for entry, keyed_on in tasks:
                 entry.table_keyed_on(keyed_on)
 
-        futures = [self._pool.submit(load, tasks) for tasks in by_shard.values()]
+        futures = {
+            self._pool.submit(load, tasks): shard
+            for shard, tasks in by_shard.items()
+        }
         with self._stats_lock:
             self.parallel_loads += len(futures)
-        for future in futures:
-            future.result()
+        try:
+            for future, shard in futures.items():
+                try:
+                    future.result(timeout=self._remaining(deadline_at, shard))
+                except TimeoutError as exc:
+                    if isinstance(exc, DeadlineExceeded):
+                        raise
+                    raise DeadlineExceeded(
+                        f"shard {shard} did not hydrate within the deadline",
+                        shard=shard,
+                    ) from None
+        finally:
+            for future in futures:
+                future.cancel()  # not-yet-started loads of a doomed query
 
     def _execute_paths(
-        self, paths: List[List[str]], box_set, merge: bool, parallel: bool
+        self,
+        paths: List[List[str]],
+        box_set,
+        merge: bool,
+        parallel: bool,
+        deadline_at: Optional[float] = None,
     ) -> QueryResult:
         if parallel:
-            self._prefetch_tables(paths)
+            self._prefetch_tables(paths, deadline_at=deadline_at)
         if parallel and self._pool is not None and len(paths) > 1:
             futures = [
                 self._pool.submit(self._execute_one, p, box_set, merge) for p in paths
             ]
             with self._stats_lock:
                 self.parallel_paths += len(futures)
-            results = [future.result() for future in futures]
+            try:
+                results = [
+                    future.result(timeout=self._remaining(deadline_at, None))
+                    for future in futures
+                ]
+            except TimeoutError as exc:
+                if isinstance(exc, DeadlineExceeded):
+                    raise
+                raise DeadlineExceeded("query deadline exceeded", shard=None) from None
         else:
             results = [self._execute_one(p, box_set, merge) for p in paths]
         return QueryResult.union(results, merge=merge)
@@ -426,7 +714,11 @@ class QueryExecutor:
                 "max_workers": self.max_workers,
                 "parallel_loads": self.parallel_loads,
                 "parallel_paths": self.parallel_paths,
+                "degraded_serves": self.degraded_serves,
+                "deadline_misses": self.deadline_misses,
+                "shard_reopens": self.shard_reopens,
                 "cache": self.cache.stats(),
+                "breakers": self.breaker_stats(),
             }
 
     def close(self) -> None:

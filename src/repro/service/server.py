@@ -19,14 +19,23 @@ JSON API
 ``/graph/dependencies``  GET   ``?array=NAME`` → upstream closure with hop counts
 ``/graph/summary``       GET   whole-catalog summary (roots, leaves, fan-in/out…)
 ``/healthz``             GET   liveness + catalog size, durable generation vector,
-                               cache/executor stats
+                               cache/executor stats, per-shard circuit-breaker
+                               states (``"status": "degraded"`` while any breaker
+                               is open)
+``/admin/scrub``         POST  ``{"repair": bool}`` (body optional) → full scrub
+                               report; with ``"repair": true`` the catalog is
+                               healed in place (:mod:`repro.storage.scrub`)
 =======================  ====  =====================================================
 
 Every failure returns a *structured* JSON payload — ``{"error": {"type",
 "message"}}`` with a matching status code (400 malformed request, 404
-unknown array or endpoint, 405 wrong method, 500 internal) — never a hung
-socket: the handler catches everything, and the server always finishes the
-response it started.
+unknown array or endpoint, 405 wrong method, 500 internal; plus the fault
+taxonomy: 504 ``deadline-exceeded``, 503 ``shard-unavailable`` /
+``overloaded`` / ``io-error``) — never a hung socket: the handler catches
+everything, and the server always finishes the response it started.
+``/query`` responses carry a ``"degraded"`` flag: ``true`` means the home
+shard was unavailable and a stale cached result was served instead
+(:class:`~repro.service.query.QueryExecutor`'s circuit-breaker path).
 
 Construction sugar: ``DSLog.serve(port)`` / ``LineageService.serve(port)``
 start a server on a background thread; ``LineageClient.connect(url)``
@@ -37,6 +46,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import threading
 import time
@@ -46,6 +56,7 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from ..faults import DeadlineExceeded, IngestOverloaded, ShardUnavailable
 from ..storage.catalog import AmbiguousLineageError
 from .query import DEFAULT_CACHE_ENTRIES, QueryExecutor
 
@@ -107,7 +118,7 @@ def result_payload(
     return payload
 
 
-def _parse_query_request(body: dict) -> Tuple[list, Any, bool, bool, bool]:
+def _parse_query_request(body: dict) -> Tuple[list, Any, bool, bool, bool, Optional[float]]:
     path = body.get("path")
     if not isinstance(path, list) or len(path) < 2 or not all(
         isinstance(name, str) for name in path
@@ -151,7 +162,12 @@ def _parse_query_request(body: dict) -> Tuple[list, Any, bool, bool, bool]:
     merge = bool(body.get("merge", True))
     include_boxes = bool(body.get("include_boxes", True))
     include_cells = bool(body.get("include_cells", False))
-    return path, query, merge, include_boxes, include_cells
+    deadline = body.get("deadline")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or deadline <= 0:
+            raise ValueError("'deadline' must be a positive number of seconds")
+        deadline = float(deadline)
+    return path, query, merge, include_boxes, include_cells, deadline
 
 
 # ----------------------------------------------------------------------
@@ -214,6 +230,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_payload(400, "bad-request", str(error))
         except KeyError as error:
             self._send_error_payload(404, "not-found", str(error.args[0] if error.args else error))
+        except DeadlineExceeded as error:
+            # before OSError: TimeoutError is an OSError subclass on 3.10+
+            self._send_error_payload(504, "deadline-exceeded", str(error))
+        except ShardUnavailable as error:
+            self._send_error_payload(503, "shard-unavailable", str(error))
+        except IngestOverloaded as error:
+            self._send_error_payload(503, "overloaded", str(error))
+        except OSError as error:
+            self._send_error_payload(503, "io-error", f"{type(error).__name__}: {error}")
         except Exception as error:  # noqa: BLE001 - must never hang the socket
             self._send_error_payload(500, "internal", f"{type(error).__name__}: {error}")
         else:
@@ -232,11 +257,14 @@ class _BadJson(ValueError):
 
 def _route_query(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
     body = handler._read_body()
-    path, query, merge, include_boxes, include_cells = _parse_query_request(body)
+    path, query, merge, include_boxes, include_cells, deadline = _parse_query_request(body)
     start = time.monotonic()
-    result, cached = server.executor.query(path, query, merge=merge)
-    payload = result_payload(result, include_boxes=include_boxes, include_cells=include_cells)
-    payload["cached"] = cached
+    outcome = server.executor.query(path, query, merge=merge, deadline=deadline)
+    payload = result_payload(
+        outcome.result, include_boxes=include_boxes, include_cells=include_cells
+    )
+    payload["cached"] = outcome.cached
+    payload["degraded"] = outcome.degraded
     payload["elapsed_ms"] = (time.monotonic() - start) * 1000.0
     return 200, payload
 
@@ -272,15 +300,29 @@ def _route_healthz(server: "LineageServer", handler: _Handler, parsed) -> Tuple[
     generations = (
         list(store.generation_vector()) if store is not None else [log.catalog.version]
     )
+    breakers = server.executor.breaker_stats()
+    degraded = any(b["state"] != "closed" for b in breakers.values())
     return 200, {
-        "status": "ok",
+        "status": "degraded" if degraded else "ok",
         "backend": log.backend,
         "arrays": len(log.catalog.arrays),
         "entries": len(log.catalog),
         "operations": len(log.catalog.operations),
         "generations": generations,
+        "breakers": {str(shard): stats for shard, stats in breakers.items()},
         "executor": server.executor.stats(),
     }
+
+
+def _route_scrub(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
+    body = handler._read_body() if handler.headers.get("Content-Length") else {}
+    repair = bool(body.get("repair", False))
+    try:
+        report = server.log.scrub(repair=repair)
+    except RuntimeError as error:  # e.g. the memory backend has no segments
+        raise ValueError(str(error)) from None
+    # reports may carry Paths / int shard keys; normalize to pure JSON
+    return 200, {"scrub": json.loads(json.dumps(report, default=str))}
 
 
 _ROUTES = {
@@ -289,6 +331,7 @@ _ROUTES = {
     ("GET", "/graph/dependencies"): _route_dependencies,
     ("GET", "/graph/summary"): _route_summary,
     ("GET", "/healthz"): _route_healthz,
+    ("POST", "/admin/scrub"): _route_scrub,
 }
 
 
@@ -393,7 +436,12 @@ class LineageClient:
     All requests are read-only (and therefore idempotent), so transport
     failures — connection reset/refused, a server restart mid-request —
     are retried up to *retries* times with exponential backoff before
-    :class:`LineageConnectionError` is raised.  HTTP-level errors are
+    :class:`LineageConnectionError` is raised.  Each backoff delay is
+    *jittered* (scaled by a random factor in ``[1, 1 + jitter]``) so a
+    fleet of clients hammered off the same server restart does not retry
+    in lockstep, and the total time spent sleeping between retries is
+    capped by *retry_budget* seconds — whichever of the attempt count or
+    the budget runs out first ends the retry loop.  HTTP-level errors are
     parsed back into :class:`LineageServerError` with the server's
     structured ``type`` and ``message``.
     """
@@ -404,11 +452,15 @@ class LineageClient:
         timeout: float = 30.0,
         retries: int = 3,
         backoff: float = 0.05,
+        jitter: float = 0.5,
+        retry_budget: Optional[float] = 10.0,
     ) -> None:
         self.url = url.rstrip("/")
         self.timeout = float(timeout)
         self.retries = int(retries)
         self.backoff = float(backoff)
+        self.jitter = max(0.0, float(jitter))
+        self.retry_budget = None if retry_budget is None else float(retry_budget)
         self.requests_sent = 0
         self.retries_used = 0
 
@@ -435,10 +487,22 @@ class LineageClient:
         data = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if data is not None else {}
         last_error: Optional[BaseException] = None
+        budget = self.retry_budget
         for attempt in range(self.retries + 1):
             if attempt:
+                delay = self.backoff * (2 ** (attempt - 1))
+                delay *= 1.0 + self.jitter * random.random()
+                if budget is not None:
+                    if budget <= 0:
+                        raise LineageConnectionError(
+                            f"{method} {route} failed after {attempt} attempts "
+                            f"(retry budget of {self.retry_budget}s exhausted): "
+                            f"{last_error}"
+                        ) from last_error
+                    delay = min(delay, budget)
+                    budget -= delay
                 self.retries_used += 1
-                time.sleep(self.backoff * (2 ** (attempt - 1)))
+                time.sleep(delay)
             request = urllib.request.Request(
                 self.url + route, data=data, headers=headers, method=method
             )
@@ -476,9 +540,12 @@ class LineageClient:
         merge: bool = True,
         include_boxes: bool = True,
         include_cells: bool = False,
+        deadline: Optional[float] = None,
     ) -> dict:
         """Run a lineage query; returns the server's result payload
-        (``boxes``, exact ``count``, per-hop stats, ``cached`` flag)."""
+        (``boxes``, exact ``count``, per-hop stats, ``cached`` and
+        ``degraded`` flags).  *deadline* bounds the server-side fan-out —
+        a slow shard turns into a structured 504, never a hang."""
         body: Dict[str, Any] = {"path": list(path), "merge": merge}
         if cells is not None:
             body["cells"] = [list(cell) for cell in cells]
@@ -486,6 +553,8 @@ class LineageClient:
             body["slices"] = [list(pair) if pair is not None else None for pair in slices]
         body["include_boxes"] = include_boxes
         body["include_cells"] = include_cells
+        if deadline is not None:
+            body["deadline"] = deadline
         return self._request("POST", "/query", body)
 
     def impact(self, name: str) -> Dict[str, int]:
@@ -505,3 +574,8 @@ class LineageClient:
 
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
+
+    def scrub(self, repair: bool = False) -> dict:
+        """Run the server-side fsck (``POST /admin/scrub``); returns the
+        scrub report.  ``repair=True`` heals the catalog in place."""
+        return self._request("POST", "/admin/scrub", {"repair": repair})["scrub"]

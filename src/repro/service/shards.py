@@ -57,6 +57,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from ..core.compressed import CompressedLineage
 from ..core.serialize import serialize_table
+from ..faults import FaultPlan
 from ..storage.catalog import Catalog, LineageConflictError, LineageEntry, OperationRecord
 from ..storage.store import (
     DEFAULT_CACHE_BYTES,
@@ -119,9 +120,11 @@ class ShardedLineageStore:
         gzip: bool = True,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.faults = faults
         existing = load_shards_file(self.root)
         if existing is not None:
             # the on-disk layout is authoritative, like the manifest's gzip
@@ -140,6 +143,8 @@ class ShardedLineageStore:
                 gzip=self.gzip,
                 cache_bytes=per_shard_budget,
                 segment_max_bytes=segment_max_bytes,
+                faults=faults,
+                scope=f"shard-{idx:02d}",
             )
             for idx in range(self.num_shards)
         ]
@@ -212,7 +217,15 @@ class ShardedLineageStore:
             published: Dict[int, int] = {}
             for idx in dirty:
                 with self._shard_locks[idx]:
-                    published[idx] = self.shards[idx].sync(serialize_lock=self.meta_lock)
+                    try:
+                        published[idx] = self.shards[idx].sync(serialize_lock=self.meta_lock)
+                    except BaseException:
+                        # the dirty mark must survive a failed publish, or
+                        # this shard (and any not yet reached) would never
+                        # republish after a transient fsync/write fault
+                        with self.meta_lock:
+                            self._dirty.update(d for d in dirty if d not in published)
+                        raise
             return published
 
     def sync_all(self) -> Dict[int, int]:
@@ -286,6 +299,11 @@ class ShardedLineageStore:
             totals["coalesced_records"] += stats["coalesced_records"]
         return totals
 
+    def torn_epoch(self) -> int:
+        """Monotonic count of torn (short) writes across every shard; see
+        :meth:`LineageStore.torn_epoch`."""
+        return sum(shard.torn_epoch() for shard in self.shards)
+
     def reader_stats(self) -> dict:
         """Aggregate mmap reader-handle stats over every shard."""
         totals = {"open_readers": 0, "mapped_bytes": 0}
@@ -307,6 +325,51 @@ class ShardedLineageStore:
                 with self._shard_locks[idx]:
                     stats[idx] = self.shards[idx].compact(serialize_lock=self.meta_lock)
         return stats
+
+    def scrub(self, repair: bool = False, shard: Optional[int] = None) -> dict:
+        """fsck every shard (or one): verify manifest-referenced records,
+        find torn tails and orphans, and — with ``repair=True`` —
+        quarantine and heal (see :mod:`repro.storage.scrub`).  Each shard
+        is scrubbed under its own append lock; the maintenance lock keeps
+        compaction and manifest publishes out of the way."""
+        from ..storage.scrub import scrub_store
+
+        indices = range(self.num_shards) if shard is None else [shard]
+        reports: Dict[int, dict] = {}
+        with self.maintenance_lock:
+            for idx in indices:
+                with self._shard_locks[idx]:
+                    reports[idx] = scrub_store(
+                        self.shards[idx], repair=repair, serialize_lock=self.meta_lock
+                    )
+        return {
+            "clean": all(rep["clean"] for rep in reports.values()),
+            "shards": reports,
+        }
+
+    def reopen_shard(self, idx: int) -> dict:
+        """Recovery probe for one shard: drop its file handles and cached
+        tables (as a restart would), then scrub-and-repair its directory.
+        The shard's :class:`LineageStore` object survives — lazy entries
+        hold references to it — with relocated records resolving through
+        the remap chain.  Returns the scrub report; raises when the
+        shard's I/O is still failing (the circuit breaker's cue to stay
+        open)."""
+        from ..storage.scrub import scrub_store
+
+        with self.maintenance_lock:
+            with self._shard_locks[idx]:
+                shard = self.shards[idx]
+                shard.reset_io()
+                report = scrub_store(shard, repair=True, serialize_lock=self.meta_lock)
+                # prove the shard serves reads again before declaring it
+                # healthy: hydrate one referenced record end to end
+                for row in shard.manifest.entries:
+                    shard.load_table(
+                        shard.resolve(TableRef.from_json(row["backward"]))
+                    )
+                    break
+                return report
 
     def close(self) -> None:
         for idx, shard in enumerate(self.shards):

@@ -1,0 +1,361 @@
+"""Scrub-and-repair: the lineage store's fsck.
+
+PR 3's crash-injection tests proved the *manifest protocol* sound — a
+crash between segment append and manifest publish can only leave inert
+garbage.  What that protocol cannot defend is corruption **inside** sealed
+records: bit rot flipping payload bytes, a misdirected or short write
+tearing a batch mid-file, a segment file truncated or deleted outright.
+This module detects all of it against the manifest (the authoritative
+record index) and, in repair mode, heals with zero valid-record loss:
+
+Corruption classes
+------------------
+================== ====================================================
+``checksum``       record frame intact, payload CRC32 mismatch (v2 files)
+``misdirected``    frame and checksum intact but the payload is not this
+                   entry's table — the ref points at some other (or no)
+                   record, e.g. after a torn batch left dangling offsets
+``truncated``      manifest ref reaches past the file, or the stored
+                   length prefix disagrees with the manifest
+``missing``        the referenced segment file does not exist at all
+``torn tail``      unparseable bytes after a segment's structurally
+                   valid region (a crash or short write mid-append)
+``orphan``         a ``segment-*.seg`` file no manifest references
+================== ====================================================
+
+Repair contract
+---------------
+* A damaged **entry orientation** is rebuilt from its intact sibling:
+  the backward and forward ProvRC tables are mutually derivable
+  (``compress(other.decompress(), key=...)``), so one flipped byte never
+  loses a lineage entry.  Only when *both* orientations are damaged is
+  the entry dropped (reported in ``dropped_entries``).
+* A damaged **reuse-state table** clears the reuse predictor's persisted
+  state — it is advisory (re-learned from future ingests), never worth
+  failing a repair over.
+* Every still-valid record in a damaged segment is **evacuated**
+  (byte-copied, checksums recomputed) into a fresh segment; the damaged
+  file is then moved whole into a ``quarantine/`` sidecar directory next
+  to a small JSON report of what was wrong with it, so no corrupt byte is
+  ever silently destroyed.  Orphan files are quarantined the same way.
+* The rewritten manifest is published through the store's normal atomic
+  protocol (temp file + fsync + rename), and ref relocations are pushed
+  into the store's remap chain — in-memory lazy entries keep resolving,
+  exactly as across a compaction.
+
+Entry points: :meth:`repro.storage.store.LineageStore.scrub`,
+:meth:`repro.service.shards.ShardedLineageStore.scrub` (per shard),
+:meth:`repro.dslog.DSLog.scrub`, the ``python -m repro.tools.scrub`` CLI,
+and the server's ``POST /admin/scrub``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.serialize import peek_table_identity, serialize_table
+from .segments import CorruptRecordError, read_record, scan_segment
+from .store import LineageStore, TableRef
+
+__all__ = ["scrub_store", "QUARANTINE_DIR"]
+
+QUARANTINE_DIR = "quarantine"
+
+
+def _ref_status(root: Path, ref: TableRef) -> Tuple[str, Optional[bytes]]:
+    """Validate one manifest ref against the bytes on disk.
+
+    Returns ``(status, payload)`` where status is ``"ok"``, ``"checksum"``,
+    ``"truncated"`` or ``"missing"`` (payload is ``None`` unless ok).
+    """
+    path = root / ref.segment
+    if not path.exists():
+        return "missing", None
+    try:
+        return "ok", read_record(path, ref.offset, ref.length)
+    except CorruptRecordError:
+        return "checksum", None
+    except ValueError:
+        return "truncated", None
+    except OSError:
+        return "truncated", None
+
+
+def _segment_damage(root: Path, name: str, bad_refs: Dict[str, List[dict]]) -> Optional[dict]:
+    """Damage report for one live segment (``None`` when pristine)."""
+    path = root / name
+    if not path.exists():
+        return {"segment": name, "reason": "missing", "torn_bytes": 0}
+    try:
+        scan = scan_segment(path)
+    except ValueError:
+        # unreadable header: the whole file is damage
+        return {
+            "segment": name,
+            "reason": "corrupt-header",
+            "torn_bytes": path.stat().st_size,
+        }
+    reasons = []
+    bad_here = [r for r in bad_refs.get(name, [])]
+    if bad_here:
+        reasons.append("corrupt-records")
+    if not all(crc_ok for _off, _len, crc_ok in scan["records"]):
+        reasons.append("checksum-mismatch")
+    if scan["tail_bytes"] > 0:
+        # bytes beyond the structurally valid prefix: either a torn tail
+        # at EOF or a torn region mid-file with valid appends after it —
+        # both leave unparseable bytes a byte-scan cannot skip
+        reasons.append("torn")
+    if not reasons:
+        return None
+    return {
+        "segment": name,
+        "reason": "+".join(reasons),
+        "torn_bytes": scan["tail_bytes"],
+    }
+
+
+def _rebuild_orientation(store: LineageStore, sibling_payload: bytes, key: str) -> bytes:
+    """Re-derive one orientation's serialized payload from the intact
+    sibling: deserialize → decompress to the cell relation → re-compress
+    keyed the other way → serialize in the store's on-disk format."""
+    from ..core.provrc import compress
+    from ..core.serialize import deserialize_table
+
+    table = deserialize_table(sibling_payload)
+    rebuilt = compress(table.decompress(), key=key)
+    return serialize_table(rebuilt, gzip=store.gzip)
+
+
+def scrub_store(store: LineageStore, repair: bool = False, serialize_lock=None) -> dict:
+    """fsck one :class:`LineageStore` directory; see the module docstring.
+
+    Detection always runs; *repair* additionally quarantines damaged and
+    orphan segment files, evacuates their valid records, rebuilds or drops
+    damaged entries, and atomically publishes the healed manifest.  The
+    caller is responsible for exclusive access (DSLog and the sharded
+    store's ``reopen_shard`` hold the appropriate locks).
+    """
+    root = store.root
+    manifest = store.manifest
+    # make every appended-but-unflushed record readable before checking it
+    if store._writer is not None and store._writer.pending_bytes:
+        store._writer.flush_pending()
+
+    report: dict = {
+        "root": str(root),
+        "repair": bool(repair),
+        "repaired": False,
+        "segments_checked": 0,
+        "records_checked": 0,
+        "corrupt_records": [],
+        "damaged_segments": [],
+        "orphan_segments": [],
+        "rebuilt_orientations": 0,
+        "evacuated_records": 0,
+        "dropped_entries": [],
+        "reuse_state_dropped": False,
+        "quarantined": [],
+        "generation": None,
+    }
+
+    # ------------------------------------------------------------------
+    # detect
+    # ------------------------------------------------------------------
+    bad_refs: Dict[str, List[dict]] = {}
+
+    def note_bad(ref: TableRef, status: str, kind: str, detail: dict) -> None:
+        row = {
+            "segment": ref.segment,
+            "offset": ref.offset,
+            "length": ref.length,
+            "class": status,
+            "kind": kind,
+            **detail,
+        }
+        report["corrupt_records"].append(row)
+        bad_refs.setdefault(ref.segment, []).append(row)
+
+    # entry refs, both orientations, resolved through any prior remaps
+    entry_state: List[dict] = []  # per manifest row: refs, statuses, payloads
+    for row in manifest.entries:
+        pair = (row["in"], row["out"])
+        state = {"row": row, "pair": pair}
+        for orient in ("backward", "forward"):
+            ref = store.resolve(TableRef.from_json(row[orient]))
+            status, payload = _ref_status(root, ref)
+            report["records_checked"] += 1
+            if status == "ok":
+                # the checksum proves the payload is intact, not that it
+                # belongs to this row: verify the table's own identity
+                expected_key = "output" if orient == "backward" else "input"
+                try:
+                    key_side, in_name, out_name = peek_table_identity(payload)
+                    identity_ok = (in_name, out_name) == pair and key_side == expected_key
+                except Exception:
+                    identity_ok = False
+                if not identity_ok:
+                    status, payload = "misdirected", None
+            state[orient] = (ref, status, payload)
+            if status != "ok":
+                note_bad(ref, status, f"entry-{orient}", {"pair": list(pair)})
+        entry_state.append(state)
+
+    # reuse-state refs
+    reuse_refs: List[Tuple[TableRef, str]] = []
+    if manifest.reuse:
+        for section in ("base", "dim", "gen"):
+            for item in manifest.reuse.get(section, []):
+                for _key, ref_dict in item.get("tables", []):
+                    ref = store.resolve(TableRef.from_json(ref_dict))
+                    status, _payload = _ref_status(root, ref)
+                    report["records_checked"] += 1
+                    reuse_refs.append((ref, status))
+                    if status != "ok":
+                        note_bad(ref, status, "reuse-state", {})
+
+    # per-segment structural damage (torn tails, unreferenced rot)
+    for name in list(manifest.segments):
+        report["segments_checked"] += 1
+        damage = _segment_damage(root, name, bad_refs)
+        if damage is not None:
+            report["damaged_segments"].append(damage)
+
+    # orphans: segment files no manifest generation references
+    live = set(manifest.segments)
+    for path in sorted(root.glob("segment-*.seg")):
+        if path.name not in live:
+            report["orphan_segments"].append(path.name)
+
+    report["clean"] = not (
+        report["corrupt_records"]
+        or report["damaged_segments"]
+        or report["orphan_segments"]
+    )
+    if not repair or report["clean"]:
+        return report
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+    damaged_names = [d["segment"] for d in report["damaged_segments"]]
+    qdir = root / QUARANTINE_DIR
+    qdir.mkdir(exist_ok=True)
+
+    # drop I/O state first: the active writer may sit on a damaged
+    # segment, and evacuation must not race cached readers of moved files
+    store.reset_io()
+
+    # salvage target: a brand-new segment, never a damaged one
+    damaged_set = set(damaged_names)
+    manifest.segments = [n for n in manifest.segments if n not in damaged_set]
+    writer = store.start_fresh_segment() if damaged_set else None
+    remap: Dict[TableRef, TableRef] = {}
+
+    def place(payload: bytes) -> TableRef:
+        target = writer if writer is not None else store._active_writer()
+        offset, length = target.append(payload)
+        return TableRef(target.path.name, offset, length)
+
+    def relocate(payload: bytes, old_ref: TableRef) -> TableRef:
+        new_ref = remap.get(old_ref)
+        if new_ref is None:
+            new_ref = place(payload)
+            remap[old_ref] = new_ref
+        return new_ref
+
+    # refs that belong to a valid record: a damaged ref that ALIASES one of
+    # these (a misdirected row) must not claim it in the remap, or the
+    # aliased entry's own evacuation would be misdirected in turn
+    valid_refs = {
+        ref
+        for state in entry_state
+        for orient in ("backward", "forward")
+        for ref, status, _payload in [state[orient]]
+        if status == "ok"
+    }
+    valid_refs.update(ref for ref, status in reuse_refs if status == "ok")
+
+    def rebuild_ref(payload: bytes, old_ref: TableRef) -> TableRef:
+        new_ref = place(payload)
+        if old_ref not in valid_refs and old_ref not in remap:
+            remap[old_ref] = new_ref  # in-memory lazy entries keep resolving
+        return new_ref
+
+    # heal every entry: evacuate good refs out of damaged segments,
+    # rebuild damaged orientations from their siblings, drop only the
+    # doubly-damaged
+    surviving_rows = []
+    for state in entry_state:
+        row = state["row"]
+        (b_ref, b_status, b_payload) = state["backward"]
+        (f_ref, f_status, f_payload) = state["forward"]
+        if b_status != "ok" and f_status != "ok":
+            report["dropped_entries"].append(list(state["pair"]))
+            continue
+        if b_status != "ok":
+            payload = _rebuild_orientation(store, f_payload, key="output")
+            row["backward"] = rebuild_ref(payload, b_ref).to_json()
+            report["rebuilt_orientations"] += 1
+        elif b_ref.segment in damaged_set:
+            row["backward"] = relocate(b_payload, b_ref).to_json()
+            report["evacuated_records"] += 1
+        if f_status != "ok":
+            payload = _rebuild_orientation(store, b_payload, key="input")
+            row["forward"] = rebuild_ref(payload, f_ref).to_json()
+            report["rebuilt_orientations"] += 1
+        elif f_ref.segment in damaged_set:
+            row["forward"] = relocate(f_payload, f_ref).to_json()
+            report["evacuated_records"] += 1
+        surviving_rows.append(row)
+    manifest.entries = surviving_rows
+
+    # reuse state: evacuate intact tables, drop the whole state if any
+    # table is damaged (it is advisory and re-learnable)
+    if manifest.reuse:
+        if any(status != "ok" for _ref, status in reuse_refs):
+            manifest.reuse = None
+            report["reuse_state_dropped"] = True
+        else:
+            for ref, _status in reuse_refs:
+                if ref.segment in damaged_set:
+                    payload = bytes(read_record(root / ref.segment, ref.offset, ref.length))
+                    relocate(payload, ref)
+                    report["evacuated_records"] += 1
+            if remap:
+                for ref_dict in manifest.iter_table_refs():
+                    old = TableRef.from_json(ref_dict)
+                    if old in remap:
+                        ref_dict.update(remap[old].to_json())
+
+    # publish the healed manifest before touching the damaged files: a
+    # crash here leaves them referenced by nothing but the quarantine move
+    report["generation"] = store.sync(serialize_lock=serialize_lock)
+    store._remap.update(remap)
+
+    # quarantine: move damaged + orphan files aside with a description
+    def quarantine(name: str, why: dict) -> None:
+        src = root / name
+        if src.exists():
+            src.replace(qdir / name)
+        (qdir / f"{name}.json").write_text(
+            json.dumps(why, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        report["quarantined"].append(name)
+
+    for damage in report["damaged_segments"]:
+        quarantine(
+            damage["segment"],
+            {
+                "reason": damage["reason"],
+                "torn_bytes": damage["torn_bytes"],
+                "corrupt_records": bad_refs.get(damage["segment"], []),
+            },
+        )
+    for name in report["orphan_segments"]:
+        quarantine(name, {"reason": "orphan"})
+
+    report["repaired"] = True
+    return report

@@ -1,79 +1,130 @@
 """Append-only segment files: the byte-level layer of the lineage store.
 
 A segment is a flat file holding many ProvRC tables as length-prefixed
-records.  The layout is deliberately trivial:
+records.  Two wire versions exist, distinguished by the file header:
 
-    +--------+---------+----------------+---------+----------------+ ...
-    | "DSEG" | version | u32 length | payload | u32 length | payload | ...
-    +--------+---------+----------------+---------+----------------+ ...
+    v1:  +--------+---------+------------+---------+ ...
+         | "DSEG" | u16 = 1 | u32 length | payload | ...
+         +--------+---------+------------+---------+ ...
+
+    v2:  +--------+---------+------------+-----------+---------+ ...
+         | "DSEG" | u16 = 2 | u32 length | u32 crc32 | payload | ...
+         +--------+---------+------------+-----------+---------+ ...
+
+v2 (the format every new segment is written in) adds a CRC32 of the
+payload to each record, so a reader can tell *bit rot inside a sealed
+record* — flipped bytes, a misdirected write — from the torn-tail and
+truncation cases the length prefix already catches.  v1 segments remain
+fully readable; the record format is a per-file property decided by the
+header, and a writer appending to a pre-existing v1 file keeps writing v1
+records so the file stays self-consistent.
 
 Records are only ever appended; a record becomes *live* when the manifest
 (:mod:`repro.storage.manifest`) references its ``(segment, offset, length)``
-triple and *dead* when no manifest reference remains (after an entry is
-replaced, or mid-ingest bytes survived a crash before the manifest was
-synced).  Readers therefore never need a segment-level index: the manifest
-is the index, and anything it does not point at is garbage to be reclaimed
-by :meth:`repro.storage.store.LineageStore.compact`.
+triple and *dead* when no manifest reference remains.  Readers never need
+a segment-level index: the manifest is the index, and anything it does not
+point at is garbage to be reclaimed by
+:meth:`repro.storage.store.LineageStore.compact`.  ``length`` is always
+the *payload* length; the per-record overhead (prefix + checksum) is a
+function of the file's wire version.
 
-Payloads are the serialized ProvRC tables of :mod:`repro.core.serialize`
-(plain or ProvRC-GZip) — the same bytes the one-file-per-table legacy format
-writes, just packed many-to-a-file.
+Corruption classes and their exceptions:
+
+* a length prefix that disagrees with the manifest, or bytes missing at
+  the end of the file → ``ValueError`` (truncation / torn tail);
+* a CRC mismatch on a v2 record → :class:`CorruptRecordError`;
+* both are repairable by the scrub subsystem
+  (:mod:`repro.storage.scrub`), which quarantines the bad bytes and
+  salvages or rebuilds everything else.
+
+Fault injection: writers and readers accept a
+:class:`~repro.faults.FaultPlan` (plus a *scope* naming their failure
+domain, e.g. ``"shard-01"``) and call it at the ``segment.write`` /
+``segment.fsync`` / ``segment.read`` / ``segment.mmap`` sites, so every
+recovery path above is exercisable deterministically.
 
 Two fast paths live here:
 
 * :class:`SegmentWriter` **coalesces appends**: records accumulate in a
   pending buffer and reach the file as one ``write`` (plus one ``fsync``
   on :meth:`~SegmentWriter.sync`) per batch — the storage half of the
-  service's group commit, where every operation of a commit window shares
-  a single syscall pair per dirty shard instead of paying two writes and
-  a flush each.  Offsets are assigned at ``append`` time, so manifest rows
-  can be built before the bytes are flushed.
+  service's group commit.  Offsets are assigned at ``append`` time, so
+  manifest rows can be built before the bytes are flushed.
 * :class:`SegmentReader` **maps the segment** and serves records as
   ``memoryview`` slices into the mapped pages — no per-record ``open``,
-  header re-validation, ``seek`` or read copies.  Tables hydrated from a
-  reader hold ``np.frombuffer`` views whose ``base`` chain keeps the mmap
-  alive, so a reader (or the whole segment file, on POSIX) can be retired
-  while outstanding views remain valid until the last one is released.
+  header re-validation, ``seek`` or read copies.  The CRC check streams
+  the mapped bytes once per hydration (reads are cached above this
+  layer), keeping the zero-copy property for the payload itself.
 """
 
 from __future__ import annotations
 
+import errno
 import mmap
 import os
 import struct
 import threading
+import zlib
 from pathlib import Path
-from typing import Iterator, List, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..faults import FaultPlan, InjectedFault
 
 __all__ = [
     "SEGMENT_MAGIC",
     "SEGMENT_VERSION",
     "SEGMENT_HEADER_SIZE",
+    "CorruptRecordError",
     "SegmentWriter",
     "SegmentReader",
     "read_record",
     "iter_records",
     "valid_length",
+    "scan_segment",
+    "record_overhead",
 ]
 
 SEGMENT_MAGIC = b"DSEG"
-SEGMENT_VERSION = 1
-_HEADER = SEGMENT_MAGIC + struct.pack("<H", SEGMENT_VERSION)
-SEGMENT_HEADER_SIZE = len(_HEADER)
+SEGMENT_VERSION = 2  # written by every new segment; v1 stays readable
+SEGMENT_HEADER_SIZE = len(SEGMENT_MAGIC) + 2
 _PREFIX = struct.Struct("<I")
+_CRC = struct.Struct("<I")
 
 
-def _check_header(data: bytes, path: Path) -> None:
+def _header_bytes(version: int) -> bytes:
+    return SEGMENT_MAGIC + struct.pack("<H", version)
+
+
+def _check_header(data: bytes, path: Path) -> int:
+    """Validate the 6-byte header; returns the file's wire version."""
     if data[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
         raise ValueError(f"{path} is not a DSLog segment file")
     (version,) = struct.unpack("<H", data[len(SEGMENT_MAGIC) : SEGMENT_HEADER_SIZE])
-    if version != SEGMENT_VERSION:
+    if version not in (1, 2):
         raise ValueError(f"{path} has unsupported segment version {version}")
+    return version
+
+
+def record_overhead(version: int) -> int:
+    """Bytes of per-record framing before the payload (prefix [+ crc])."""
+    return _PREFIX.size + (_CRC.size if version >= 2 else 0)
+
+
+class CorruptRecordError(ValueError):
+    """A record's payload bytes do not match its stored CRC32 (v2)."""
+
+    def __init__(self, path, offset: int, stored: int, actual: int) -> None:
+        super().__init__(
+            f"{path}: record at offset {offset} fails its checksum "
+            f"(stored 0x{stored:08x}, computed 0x{actual:08x})"
+        )
+        self.path = Path(path)
+        self.offset = offset
 
 
 class SegmentWriter:
-    """Appends length-prefixed records to one segment file, coalescing
-    batches of appends into single writes.
+    """Appends length-prefixed (and, on v2 files, checksummed) records to
+    one segment file, coalescing batches of appends into single writes.
 
     ``append`` only extends the in-memory pending buffer (assigning the
     record its final offset); ``flush_pending`` hands the whole batch to
@@ -81,27 +132,48 @@ class SegmentWriter:
     costs one syscall pair per segment regardless of batch size.  The
     file's 6-byte header is the exception: it is written eagerly at
     creation so the file is identifiable on disk from the first moment a
-    manifest could name it.
+    manifest could name it.  A pre-existing file's header decides the
+    record format; new files are created at :data:`SEGMENT_VERSION`.
 
     Thread-safe: appends arrive under the owning store's append lock, but
     ``flush_pending`` may also be called by a *reader* that needs bytes
     not yet handed to the OS (see ``LineageStore.load_table``), so the
     pending buffer is guarded by its own mutex.
+
+    *faults*/*scope*: injection points ``segment.write`` (inside
+    ``flush_pending``; a ``short_write`` rule leaves a torn batch prefix
+    on disk, exactly like a crash mid-write) and ``segment.fsync``
+    (inside ``sync``, before the fsync — bytes are in the OS but not
+    durable, the retryable window).
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        faults: Optional[FaultPlan] = None,
+        scope: Optional[str] = None,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.faults = faults
+        self.scope = scope
         existing = self.path.stat().st_size if self.path.exists() else 0
+        if existing:
+            with open(self.path, "rb") as fh:
+                self.version = _check_header(fh.read(SEGMENT_HEADER_SIZE), self.path)
+        else:
+            self.version = SEGMENT_VERSION
+        self._overhead = record_overhead(self.version)
         self._fh = open(self.path, "ab")
         self._lock = threading.Lock()
         self._pending: List[bytes] = []
         self._pending_bytes = 0
         self.coalesced_writes = 0  # flushes that reached the OS
         self.coalesced_records = 0  # records covered by those flushes
+        self.torn_writes = 0  # short writes that destroyed pending bytes
         self._pending_records = 0
         if existing == 0:
-            self._fh.write(_HEADER)
+            self._fh.write(_header_bytes(self.version))
             self._fh.flush()
             self._size = SEGMENT_HEADER_SIZE
             self._flushed = SEGMENT_HEADER_SIZE
@@ -129,26 +201,60 @@ class SegmentWriter:
         """Buffer one record; returns ``(offset, payload length)``.
 
         The offset addresses the record's length prefix, so a reader can
-        verify the prefix against the manifest's recorded length before
-        trusting the payload bytes.  The bytes reach the file on the next
-        ``flush_pending``/``sync`` — one coalesced write per batch.
+        verify the prefix (and, on v2, the payload checksum) against the
+        manifest's recorded length before trusting the payload bytes.  The
+        bytes reach the file on the next ``flush_pending``/``sync`` — one
+        coalesced write per batch.
         """
         with self._lock:
             offset = self._size
             self._pending.append(_PREFIX.pack(len(payload)))
+            if self.version >= 2:
+                self._pending.append(_CRC.pack(zlib.crc32(payload) & 0xFFFFFFFF))
             self._pending.append(payload)
-            self._pending_bytes += _PREFIX.size + len(payload)
+            self._pending_bytes += self._overhead + len(payload)
             self._pending_records += 1
-            self._size = offset + _PREFIX.size + len(payload)
+            self._size = offset + self._overhead + len(payload)
             return offset, len(payload)
 
     def flush_pending(self) -> int:
         """Write the pending batch to the OS as one coalesced write;
-        returns the number of bytes written (0 when nothing was pending)."""
+        returns the number of bytes written (0 when nothing was pending).
+
+        Fault semantics: an ``error``/``enospc`` rule fires *before* any
+        byte is written — the pending buffer is kept and the flush is
+        retryable.  A ``short_write`` rule writes a prefix of the batch,
+        drops the rest (the bytes are gone, as after a crash), and raises
+        — the torn state the scrub subsystem repairs.
+        """
         with self._lock:
             if not self._pending:
                 return 0
             buffer = b"".join(self._pending)
+            if self.faults is not None:
+                partial = self.faults.short_write("segment.write", self.scope, len(buffer))
+                if partial is not None:
+                    # a torn write: a prefix reaches the file, the rest is
+                    # gone — scrub's territory.  The dropped region is
+                    # padded with zeros so the promised offsets (already
+                    # referenced by manifest rows) are never reassigned to
+                    # later records: a dangling ref must read garbage, not
+                    # some other entry's valid bytes.
+                    self._fh.write(buffer[:partial])
+                    self._fh.write(b"\x00" * (len(buffer) - partial))
+                    self._fh.flush()
+                    self._flushed += len(buffer)
+                    self._pending = []
+                    self._pending_bytes = 0
+                    self._pending_records = 0
+                    self.torn_writes += 1
+                    raise InjectedFault(
+                        "segment.write",
+                        self.scope,
+                        errno.EIO,
+                        f"injected short write at segment.write ({self.scope}): "
+                        f"{partial}/{len(buffer)} bytes reached {self.path.name}",
+                    )
             self._fh.write(buffer)
             self._fh.flush()
             self._pending = []
@@ -163,6 +269,8 @@ class SegmentWriter:
         """Force appended records to stable storage: one write of the whole
         pending batch, then one fsync.  Returns the bytes flushed."""
         flushed = self.flush_pending()
+        if self.faults is not None:
+            self.faults.check("segment.fsync", self.scope)
         os.fsync(self._fh.fileno())
         return flushed
 
@@ -187,10 +295,10 @@ class SegmentReader:
 
     The segment header is validated once at open; each ``read`` validates
     the record's length prefix against the manifest-recorded length (same
-    contract as :func:`read_record`) and returns a ``memoryview`` into the
-    mapping — no syscalls, no payload copy.  The mapping is refreshed
-    lazily when a requested record lies beyond the mapped size (the file
-    has grown since the last map).
+    contract as :func:`read_record`), verifies the payload CRC on v2
+    files, and returns a ``memoryview`` into the mapping — no syscalls, no
+    payload copy.  The mapping is refreshed lazily when a requested record
+    lies beyond the mapped size (the file has grown since the last map).
 
     Lifecycle: ``close`` drops the reader's own reference to the mapping;
     if hydrated tables still hold views into it, the mapping simply stays
@@ -201,11 +309,21 @@ class SegmentReader:
     out from under live readers.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        faults: Optional[FaultPlan] = None,
+        scope: Optional[str] = None,
+    ) -> None:
         self.path = Path(path)
+        self.faults = faults
+        self.scope = scope
+        if faults is not None:
+            faults.check("segment.mmap", scope)
         self._fh = open(self.path, "rb")
         header = self._fh.read(SEGMENT_HEADER_SIZE)
-        _check_header(header, self.path)
+        self.version = _check_header(header, self.path)
+        self._overhead = record_overhead(self.version)
         self._lock = threading.Lock()
         self._mm: "mmap.mmap" = None
         self._mapped = 0
@@ -223,15 +341,20 @@ class SegmentReader:
         return self._mapped
 
     def read(self, offset: int, length: int) -> memoryview:
-        """One record's payload as a zero-copy view, prefix-validated.
+        """One record's payload as a zero-copy view, prefix- and (on v2)
+        checksum-validated.
 
         Raises ``FileNotFoundError`` when the reader was closed (a
         compaction dropped it concurrently): ``close`` and ``read`` hold
         the same lock, so a ``None`` mapping here reliably means closed,
         and the store's retry loop re-resolves through the remap exactly
         as it did for a deleted file under the per-call read path.
+        Raises :class:`CorruptRecordError` on a checksum mismatch — bit
+        rot inside a sealed record, the scrub subsystem's territory.
         """
-        end = offset + _PREFIX.size + length
+        if self.faults is not None:
+            self.faults.check("segment.read", self.scope)
+        end = offset + self._overhead + length
         with self._lock:
             if self._mm is None:
                 raise FileNotFoundError(f"{self.path}: segment reader closed")
@@ -247,7 +370,13 @@ class SegmentReader:
                     f"{self.path}: record at offset {offset} has length {stored}, "
                     f"manifest expected {length}"
                 )
-            return memoryview(self._mm)[offset + _PREFIX.size : end]
+            payload = memoryview(self._mm)[offset + self._overhead : end]
+            if self.version >= 2:
+                (crc_stored,) = _CRC.unpack_from(self._mm, offset + _PREFIX.size)
+                crc_actual = zlib.crc32(payload) & 0xFFFFFFFF
+                if crc_stored != crc_actual:
+                    raise CorruptRecordError(self.path, offset, crc_stored, crc_actual)
+            return payload
 
     def close(self) -> None:
         """Release the reader's handles.  Outstanding record views stay
@@ -271,11 +400,11 @@ class SegmentReader:
 
 
 def read_record(path: Union[str, Path], offset: int, length: int) -> bytes:
-    """Read one record's payload, validating the stored length prefix."""
+    """Read one record's payload, validating the stored length prefix and
+    (on v2 segments) the payload checksum."""
     path = Path(path)
     with open(path, "rb") as fh:
-        header = fh.read(SEGMENT_HEADER_SIZE)
-        _check_header(header, path)
+        version = _check_header(fh.read(SEGMENT_HEADER_SIZE), path)
         fh.seek(offset)
         prefix = fh.read(_PREFIX.size)
         if len(prefix) != _PREFIX.size:
@@ -286,52 +415,106 @@ def read_record(path: Union[str, Path], offset: int, length: int) -> bytes:
                 f"{path}: record at offset {offset} has length {stored}, "
                 f"manifest expected {length}"
             )
+        crc_stored = None
+        if version >= 2:
+            crc = fh.read(_CRC.size)
+            if len(crc) != _CRC.size:
+                raise ValueError(f"{path}: truncated record checksum at offset {offset}")
+            (crc_stored,) = _CRC.unpack(crc)
         payload = fh.read(length)
         if len(payload) != length:
             raise ValueError(f"{path}: truncated record payload at offset {offset}")
+        if crc_stored is not None:
+            crc_actual = zlib.crc32(payload) & 0xFFFFFFFF
+            if crc_stored != crc_actual:
+                raise CorruptRecordError(path, offset, crc_stored, crc_actual)
         return payload
 
 
 def valid_length(path: Union[str, Path]) -> int:
-    """Length of the segment's valid prefix: the offset just past the last
-    *complete* record.  Bytes beyond it are a dangling tail — a crash
-    mid-append — that no manifest can reference; recovery keeps them inert
-    (new appends land after the physical end of file) and compaction drops
-    them with the rest of the dead bytes."""
+    """Length of the segment's *structurally* valid prefix: the offset just
+    past the last complete record.  Bytes beyond it are a dangling tail —
+    a crash mid-append — that no manifest can reference; recovery keeps
+    them inert (new appends land after the physical end of file) and
+    compaction drops them with the rest of the dead bytes.  Checksums are
+    deliberately not verified here (see :func:`scan_segment` for the full
+    fsck pass): a flipped byte mid-file does not end the valid prefix."""
     path = Path(path)
     end = SEGMENT_HEADER_SIZE
     with open(path, "rb") as fh:
-        header = fh.read(SEGMENT_HEADER_SIZE)
-        _check_header(header, path)
+        version = _check_header(fh.read(SEGMENT_HEADER_SIZE), path)
+        overhead = record_overhead(version)
         while True:
-            prefix = fh.read(_PREFIX.size)
-            if len(prefix) < _PREFIX.size:
+            framing = fh.read(overhead)
+            if len(framing) < overhead:
                 return end
-            (length,) = _PREFIX.unpack(prefix)
+            (length,) = _PREFIX.unpack_from(framing, 0)
             payload = fh.read(length)
             if len(payload) < length:
                 return end
-            end += _PREFIX.size + length
+            end += overhead + length
 
 
 def iter_records(path: Union[str, Path]) -> Iterator[Tuple[int, bytes]]:
     """Yield every ``(offset, payload)`` in a segment, in append order.
 
     A trailing partial record (a crash mid-append) ends the iteration
-    silently — those bytes are by definition not referenced by any manifest.
+    silently — those bytes are by definition not referenced by any
+    manifest.  Checksums are not verified (callers that care run
+    :func:`scan_segment`).
     """
     path = Path(path)
     with open(path, "rb") as fh:
-        header = fh.read(SEGMENT_HEADER_SIZE)
-        _check_header(header, path)
+        version = _check_header(fh.read(SEGMENT_HEADER_SIZE), path)
+        overhead = record_overhead(version)
         offset = SEGMENT_HEADER_SIZE
         while True:
-            prefix = fh.read(_PREFIX.size)
-            if len(prefix) < _PREFIX.size:
+            framing = fh.read(overhead)
+            if len(framing) < overhead:
                 return
-            (length,) = _PREFIX.unpack(prefix)
+            (length,) = _PREFIX.unpack_from(framing, 0)
             payload = fh.read(length)
             if len(payload) < length:
                 return
             yield offset, payload
-            offset += _PREFIX.size + length
+            offset += overhead + length
+
+
+def scan_segment(path: Union[str, Path]) -> Dict[str, object]:
+    """Full fsck pass over one segment: structure *and* checksums.
+
+    Returns a dict with the file's ``version``, ``file_size``, the
+    ``valid_prefix`` offset (same contract as :func:`valid_length`),
+    ``tail_bytes`` beyond it, and ``records`` — one ``(offset, length,
+    crc_ok)`` triple per complete record in append order (``crc_ok`` is
+    always ``True`` on v1 files, which carry no checksum to disagree
+    with).  The scrub subsystem drives its whole repair plan off this.
+    """
+    path = Path(path)
+    records: List[Tuple[int, int, bool]] = []
+    with open(path, "rb") as fh:
+        version = _check_header(fh.read(SEGMENT_HEADER_SIZE), path)
+        overhead = record_overhead(version)
+        offset = SEGMENT_HEADER_SIZE
+        while True:
+            framing = fh.read(overhead)
+            if len(framing) < overhead:
+                break
+            (length,) = _PREFIX.unpack_from(framing, 0)
+            payload = fh.read(length)
+            if len(payload) < length:
+                break
+            crc_ok = True
+            if version >= 2:
+                (crc_stored,) = _CRC.unpack_from(framing, _PREFIX.size)
+                crc_ok = crc_stored == (zlib.crc32(payload) & 0xFFFFFFFF)
+            records.append((offset, length, crc_ok))
+            offset += overhead + length
+    file_size = path.stat().st_size
+    return {
+        "version": version,
+        "file_size": file_size,
+        "valid_prefix": offset,
+        "tail_bytes": file_size - offset,
+        "records": records,
+    }

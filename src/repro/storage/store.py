@@ -50,6 +50,7 @@ from typing import Dict, List, NamedTuple, Optional, Tuple, Union
 
 from ..core.compressed import CompressedLineage
 from ..core.serialize import deserialize_table, serialize_table
+from ..faults import FaultPlan
 from .catalog import Catalog, LineageEntry
 from .manifest import Manifest, dump_manifest, load_manifest, write_manifest
 from .segments import SegmentReader, SegmentWriter
@@ -216,9 +217,15 @@ class LineageStore:
         gzip: bool = True,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+        faults: Optional[FaultPlan] = None,
+        scope: Optional[str] = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # fault-injection plan threaded into every segment writer/reader this
+        # store opens; scope names the store's failure domain (shard name)
+        self.faults = faults
+        self.scope = scope if scope is not None else self.root.name
         existing = load_manifest(self.root)
         if existing is not None:
             self.manifest = existing
@@ -248,6 +255,7 @@ class LineageStore:
         # group-commit write accounting, carried across writer rollovers
         self._closed_coalesced_writes = 0
         self._closed_coalesced_records = 0
+        self._closed_torn_writes = 0
         self._drop_orphan_segments()
 
     # ------------------------------------------------------------------
@@ -277,6 +285,7 @@ class LineageStore:
         self._writer.close()
         self._closed_coalesced_writes += self._writer.coalesced_writes
         self._closed_coalesced_records += self._writer.coalesced_records
+        self._closed_torn_writes += self._writer.torn_writes
         self._writer = None
 
     def write_stats(self) -> dict:
@@ -290,6 +299,19 @@ class LineageStore:
             records += writer.coalesced_records
         return {"coalesced_writes": writes, "coalesced_records": records}
 
+    def torn_epoch(self) -> int:
+        """Monotonic count of torn (short) writes this store has suffered.
+
+        A torn write destroys appended-but-unflushed bytes whose offsets
+        manifest rows may already reference; the ingest pipeline compares
+        this epoch around each apply so it never acknowledges a ticket
+        whose record bytes may have been destroyed mid-flight."""
+        torn = self._closed_torn_writes
+        writer = self._writer
+        if writer is not None:
+            torn += writer.torn_writes
+        return torn
+
     def _active_writer(self) -> SegmentWriter:
         if self._writer is not None and self._writer.size < self.segment_max_bytes:
             return self._writer
@@ -298,11 +320,27 @@ class LineageStore:
         if self.manifest.segments:
             last = self._segment_path(self.manifest.segments[-1])
             if last.exists() and last.stat().st_size < self.segment_max_bytes:
-                self._writer = SegmentWriter(last)
+                self._writer = SegmentWriter(last, faults=self.faults, scope=self.scope)
                 return self._writer
         name = self._new_segment_name()
         self.manifest.segments.append(name)
-        self._writer = SegmentWriter(self._segment_path(name))
+        self._writer = SegmentWriter(
+            self._segment_path(name), faults=self.faults, scope=self.scope
+        )
+        return self._writer
+
+    def start_fresh_segment(self) -> SegmentWriter:
+        """Retire the active writer and open a brand-new segment file.
+
+        Scrub-and-repair uses this so salvage writes never land in the very
+        segment being evacuated (the normal ``_active_writer`` would happily
+        keep appending to a damaged tail segment)."""
+        self._retire_writer()
+        name = self._new_segment_name()
+        self.manifest.segments.append(name)
+        self._writer = SegmentWriter(
+            self._segment_path(name), faults=self.faults, scope=self.scope
+        )
         return self._writer
 
     # ------------------------------------------------------------------
@@ -358,7 +396,9 @@ class LineageStore:
         with self._reader_lock:
             reader = self._readers.get(segment)
             if reader is None:
-                reader = SegmentReader(self._segment_path(segment))
+                reader = SegmentReader(
+                    self._segment_path(segment), faults=self.faults, scope=self.scope
+                )
                 self._readers[segment] = reader
             return reader
 
@@ -432,6 +472,8 @@ class LineageStore:
             self._writer.sync()
         with serialize_lock if serialize_lock is not None else contextlib.nullcontext():
             data = dump_manifest(self.manifest)
+        if self.faults is not None:
+            self.faults.check("manifest.write", self.scope)
         write_manifest(self.root, data)
         return self.manifest.generation
 
@@ -449,6 +491,41 @@ class LineageStore:
         with self._pin_lock:
             if self._pins == 0:
                 self._delete_retired()
+
+    def reset_io(self) -> None:
+        """Drop every open file handle and cached table, as a process
+        restart would: best-effort close of the active writer (a final
+        flush that fails against a broken disk is *swallowed* — the bytes
+        are simply lost, exactly like a crash, and the dangling refs are
+        scrub's to find), all mmap readers closed, LRU cache cleared.
+        The store stays usable; writers and readers reopen lazily.
+        """
+        writer, self._writer = self._writer, None
+        if writer is not None:
+            try:
+                writer.close()
+            except OSError:
+                if not writer._fh.closed:
+                    writer._fh.close()
+            self._closed_coalesced_writes += writer.coalesced_writes
+            self._closed_coalesced_records += writer.coalesced_records
+            self._closed_torn_writes += writer.torn_writes
+        with self._reader_lock:
+            for reader in self._readers.values():
+                reader.close()
+            self._readers = {}
+        self.cache.clear()
+
+    def scrub(self, repair: bool = False) -> dict:
+        """fsck this store: verify every manifest-referenced record against
+        the segment files (structure and checksums), find torn tails and
+        orphan segments; with ``repair=True``, quarantine the damage and
+        rebuild what the intact bytes allow.  See
+        :func:`repro.storage.scrub.scrub_store` for the full report and
+        repair contract."""
+        from .scrub import scrub_store
+
+        return scrub_store(self, repair=repair)
 
     # ------------------------------------------------------------------
     # snapshot pins

@@ -1,0 +1,1 @@
+"""Operational command-line tools for DSLog catalog directories."""

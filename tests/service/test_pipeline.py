@@ -3,13 +3,12 @@ multi-writer stress test of the acceptance criteria (≥ 8 concurrent writer
 threads + concurrent readers, zero lost or duplicated entries, full
 metadata fidelity after reopen)."""
 
-import queue
 import threading
 
 import numpy as np
 import pytest
 
-from repro import DSLog, LineageService
+from repro import DSLog, IngestOverloaded, LineageService
 from repro.core.relation import LineageRelation
 from repro.service import ServiceClosedError
 
@@ -101,8 +100,8 @@ class TestTickets:
             assert stats["largest_commit"] >= 2
 
     def test_backpressure_bounded_queue(self, tmp_path):
-        # a queue of 1 with no room must raise on a zero-ish timeout rather
-        # than growing without bound
+        # a queue of 1 with no room must raise the structured overload
+        # error on a zero-ish timeout rather than growing without bound
         with LineageService(tmp_path / "db", workers=1, queue_size=1) as svc:
             svc.define_array("x", SHAPE)
             blocked = threading.Event()
@@ -119,7 +118,7 @@ class TestTickets:
             svc.define_array("y", SHAPE)
             svc.define_array("z", SHAPE)
             svc.submit("fill", ["x"], ["y"], relations={("x", "y"): elementwise("x", "y")})
-            with pytest.raises(queue.Full):
+            with pytest.raises(IngestOverloaded) as excinfo:
                 svc.submit(
                     "wont-fit",
                     ["x"],
@@ -127,6 +126,8 @@ class TestTickets:
                     relations={("x", "z"): elementwise("x", "z")},
                     timeout=0.05,
                 )
+            assert excinfo.value.queue_depth >= 1
+            assert svc.stats()["overloaded"] == 1
             release.set()
             svc.flush(timeout=30)
 

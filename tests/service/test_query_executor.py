@@ -71,10 +71,10 @@ def test_planned_diamond_union(log):
 
 def test_cache_hit_and_flag(log):
     with QueryExecutor(log, max_workers=2) as ex:
-        result, cached = ex.query(["a", "b"], QUERY)
-        assert not cached
-        again, cached = ex.query(["a", "b"], QUERY)
-        assert cached
+        result, cached, degraded = ex.query(["a", "b"], QUERY)
+        assert not cached and not degraded
+        again, cached, degraded = ex.query(["a", "b"], QUERY)
+        assert cached and not degraded
         assert again.to_cells() == result.to_cells()
         stats = ex.stats()["cache"]
         assert stats["hits"] == 1 and stats["entries"] >= 1
@@ -169,7 +169,7 @@ def test_backward_path_invalidated_by_replace(tmp_path):
         assert ex.query([b, a], QUERY)[1] is True
 
         log.add_lineage(a, b, relation=shift(a, b), replace=True)
-        result, cached = ex.query([b, a], QUERY)
+        result, cached, _degraded = ex.query([b, a], QUERY)
         assert cached is False
         assert result.to_cells() == log.prov_query([b, a], QUERY).to_cells()
         assert result.to_cells() != before
@@ -189,7 +189,7 @@ def test_planned_query_keyed_on_all_shards(tmp_path):
         log.define_array("x", SHAPE)
         log.add_lineage("a", "x", relation=identity("a", "x"))
         log.add_lineage("x", "c", relation=identity("x", "c"))
-        result, cached = ex.query(["a", "c"], QUERY)
+        result, cached, _degraded = ex.query(["a", "c"], QUERY)
         assert cached is False
         assert result.to_cells() == before  # identity chains: same cells, two paths
     log.close()
@@ -231,13 +231,16 @@ def test_result_cache_lru_eviction():
     assert cache.stats()["evictions"] == 1
 
 
-def test_result_cache_version_mismatch_drops_entry():
+def test_result_cache_version_mismatch_keeps_stale_entry():
     cache = ResultCache(max_entries=4)
     cache.store(b"k", ((0, 1), (2, 5)), "value")
     assert cache.lookup(b"k", {0: 1, 2: 5}) == (True, "value")
     assert cache.lookup(b"k", {0: 1, 2: 6}) == (False, None)
-    assert len(cache) == 0
     assert cache.stats()["invalidations"] == 1
+    # the stale value is retained for degraded serving, not dropped
+    assert len(cache) == 1
+    assert cache.lookup_stale(b"k") == (True, "value")
+    assert cache.stats()["stale_hits"] == 1
 
 
 def test_shard_version_vector_tracks_home_shards(tmp_path):

@@ -21,10 +21,14 @@ from repro import DSLog
 from repro.core.relation import LineageRelation
 from repro.storage.segments import (
     SEGMENT_HEADER_SIZE,
+    SEGMENT_VERSION,
     SegmentReader,
     SegmentWriter,
+    record_overhead,
     valid_length,
 )
+
+OVERHEAD = record_overhead(SEGMENT_VERSION)
 
 SHAPE = (8,)
 
@@ -102,10 +106,10 @@ class TestCoalescedWrites:
             writer.append(b"x" * 50)
         # only the eagerly-written header has reached the file
         assert path.stat().st_size == SEGMENT_HEADER_SIZE
-        assert writer.pending_bytes == 10 * (4 + 50)
-        assert writer.size == SEGMENT_HEADER_SIZE + 10 * (4 + 50)
+        assert writer.pending_bytes == 10 * (OVERHEAD + 50)
+        assert writer.size == SEGMENT_HEADER_SIZE + 10 * (OVERHEAD + 50)
         flushed = writer.sync()
-        assert flushed == 10 * (4 + 50)
+        assert flushed == 10 * (OVERHEAD + 50)
         assert path.stat().st_size == writer.size
         assert valid_length(path) == writer.size
         # the whole batch went out as ONE coalesced write

@@ -1,0 +1,361 @@
+"""Scrub-and-repair: every injected corruption class must be detected, and
+repair must heal with zero valid-record loss.
+
+Corruption classes exercised (against a catalog whose ground truth we can
+recompute): a flipped payload byte mid-record (CRC mismatch), a torn tail,
+a segment truncated mid-record, a segment deleted outright, and an orphan
+segment file.  Repair is verified three ways: the catalog still answers
+every query correctly, a second scrub comes back clean, and a cold reopen
+from disk sees the healed state.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import DSLog
+from repro.core.relation import LineageRelation
+from repro.storage.manifest import MANIFEST_NAME, load_manifest
+from repro.storage.scrub import QUARANTINE_DIR
+from repro.storage.segments import SEGMENT_VERSION, record_overhead
+from repro.storage.store import TableRef
+from repro.tools.scrub import main as scrub_main
+
+SHAPE = (4,)
+OVERHEAD = record_overhead(SEGMENT_VERSION)
+
+
+def elementwise(in_name, out_name, shape=SHAPE):
+    pairs = [(cell, cell) for cell in np.ndindex(*shape)]
+    return LineageRelation.from_pairs(
+        pairs, shape, shape, in_name=in_name, out_name=out_name
+    )
+
+
+def build(root, n, backend="segment", **kwargs):
+    log = DSLog(root, backend=backend, autosync=False, **kwargs)
+    names = [f"A{i}" for i in range(n + 1)]
+    for name in names:
+        log.define_array(name, SHAPE)
+    for a, b in zip(names, names[1:]):
+        log.add_lineage(a, b, relation=elementwise(a, b), op_name=f"op_{a}")
+    log.sync()
+    log.close()
+    return names
+
+
+def flip_payload_byte(root, ref: TableRef) -> None:
+    """Corrupt one byte inside the payload a manifest ref addresses."""
+    path = root / ref.segment
+    data = bytearray(path.read_bytes())
+    target = ref.offset + OVERHEAD + ref.length // 2
+    data[target] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def entry_ref(root, index=0, orient="backward") -> TableRef:
+    manifest = load_manifest(root)
+    return TableRef.from_json(manifest.entries[index][orient])
+
+
+def redirect_ref(root, victim=0, donor=1, orient="forward") -> None:
+    """Point one entry's ref at another entry's (perfectly valid) record."""
+    path = root / MANIFEST_NAME
+    data = json.loads(path.read_text())
+    data["entries"][victim][orient] = dict(data["entries"][donor][orient])
+    path.write_text(json.dumps(data))
+
+
+def assert_fully_readable(root, names):
+    """The zero-loss check: reopen cold and recompute every entry."""
+    log = DSLog.load(root, autosync=False)
+    try:
+        assert log.catalog.materialize_all() == 2 * (len(names) - 1)
+        for a, b in zip(names, names[1:]):
+            assert log.prov_query([a, b], [(1,)]).to_cells() == {(1,)}
+            assert log.prov_query([b, a], [(2,)]).to_cells() == {(2,)}
+    finally:
+        log.close()
+
+
+class TestDetect:
+    def test_clean_catalog_reports_clean(self, tmp_path):
+        root = tmp_path / "db"
+        build(root, 4)
+        log = DSLog.load(root, autosync=False)
+        report = log.scrub(repair=False)
+        log.close()
+        assert report["clean"]
+        assert report["repaired"] is False
+        assert report["records_checked"] >= 8
+        assert not report["corrupt_records"]
+
+    def test_flipped_byte_detected_as_checksum(self, tmp_path):
+        root = tmp_path / "db"
+        build(root, 3)
+        ref = entry_ref(root, index=1, orient="backward")
+        flip_payload_byte(root, ref)
+        log = DSLog.load(root, autosync=False)
+        report = log.scrub(repair=False)
+        log.close()
+        assert not report["clean"]
+        classes = {r["class"] for r in report["corrupt_records"]}
+        assert classes == {"checksum"}
+        assert report["corrupt_records"][0]["kind"] == "entry-backward"
+        assert any(
+            "checksum-mismatch" in d["reason"] for d in report["damaged_segments"]
+        )
+
+    def test_torn_tail_detected(self, tmp_path):
+        root = tmp_path / "db"
+        build(root, 3)
+        segment = root / load_manifest(root).segments[-1]
+        with open(segment, "ab") as fh:
+            fh.write((5000).to_bytes(4, "little") + b"short")
+        log = DSLog.load(root, autosync=False)
+        report = log.scrub(repair=False)
+        log.close()
+        assert not report["clean"]
+        assert not report["corrupt_records"]  # every referenced record intact
+        [damage] = report["damaged_segments"]
+        assert "torn" in damage["reason"]
+        assert damage["torn_bytes"] == 4 + len(b"short")
+
+    def test_truncated_segment_detected(self, tmp_path):
+        root = tmp_path / "db"
+        build(root, 3)
+        manifest = load_manifest(root)
+        segment = root / manifest.segments[-1]
+        last = max(
+            (TableRef.from_json(row[o]) for row in manifest.entries for o in ("backward", "forward")),
+            key=lambda r: r.offset,
+        )
+        with open(segment, "r+b") as fh:
+            fh.truncate(last.offset + OVERHEAD + last.length // 2)
+        log = DSLog.load(root, autosync=False)
+        report = log.scrub(repair=False)
+        log.close()
+        assert not report["clean"]
+        assert any(r["class"] == "truncated" for r in report["corrupt_records"])
+
+    def test_missing_segment_detected(self, tmp_path):
+        root = tmp_path / "db"
+        build(root, 3)
+        (root / load_manifest(root).segments[-1]).unlink()
+        log = DSLog.load(root, autosync=False)
+        report = log.scrub(repair=False)
+        log.close()
+        assert not report["clean"]
+        assert any(r["class"] == "missing" for r in report["corrupt_records"])
+        assert any(d["reason"] == "missing" for d in report["damaged_segments"])
+
+    def test_misdirected_ref_detected(self, tmp_path):
+        # a valid-checksum record that belongs to a *different* entry (the
+        # wreckage a torn batch used to leave when dropped offsets were
+        # reassigned): only the identity check can see it
+        root = tmp_path / "db"
+        build(root, 3)
+        redirect_ref(root, victim=0, donor=1, orient="forward")
+        log = DSLog.load(root, autosync=False)
+        report = log.scrub(repair=False)
+        log.close()
+        assert not report["clean"]
+        [bad] = report["corrupt_records"]
+        assert bad["class"] == "misdirected"
+        assert bad["kind"] == "entry-forward"
+        assert bad["pair"] == ["A0", "A1"]
+
+    def test_orphan_segment_detected(self, tmp_path):
+        root = tmp_path / "db"
+        build(root, 2)
+        log = DSLog.load(root, autosync=False)
+        # created after open: reopen itself unlinks pre-existing orphans
+        orphan = root / "segment-000099.seg"
+        orphan.write_bytes(b"DSEG" + (2).to_bytes(2, "little") + b"junk")
+        report = log.scrub(repair=False)
+        log.close()
+        assert not report["clean"]
+        assert report["orphan_segments"] == ["segment-000099.seg"]
+
+
+class TestRepair:
+    def test_misdirected_ref_rebuilt_from_sibling(self, tmp_path):
+        root = tmp_path / "db"
+        names = build(root, 3)
+        redirect_ref(root, victim=0, donor=1, orient="forward")
+        log = DSLog.load(root, autosync=False)
+        report = log.scrub(repair=True)
+        assert report["repaired"]
+        assert report["rebuilt_orientations"] == 1
+        assert report["dropped_entries"] == []
+        assert log.scrub(repair=False)["clean"]
+        log.close()
+        assert_fully_readable(root, names)
+
+    def test_flipped_byte_rebuilt_from_sibling(self, tmp_path):
+        root = tmp_path / "db"
+        names = build(root, 4)
+        flip_payload_byte(root, entry_ref(root, index=2, orient="backward"))
+        log = DSLog.load(root, autosync=False)
+        report = log.scrub(repair=True)
+        assert report["repaired"]
+        assert report["rebuilt_orientations"] == 1
+        assert report["dropped_entries"] == []
+        assert log.scrub(repair=False)["clean"]
+        log.close()
+        assert_fully_readable(root, names)
+        qdir = root / QUARANTINE_DIR
+        quarantined = list(qdir.glob("segment-*.seg"))
+        assert len(quarantined) == 1
+        why = json.loads((qdir / f"{quarantined[0].name}.json").read_text())
+        assert "corrupt-records" in why["reason"]
+
+    def test_both_orientations_damaged_drops_only_that_entry(self, tmp_path):
+        root = tmp_path / "db"
+        names = build(root, 4)
+        flip_payload_byte(root, entry_ref(root, index=1, orient="backward"))
+        flip_payload_byte(root, entry_ref(root, index=1, orient="forward"))
+        manifest = load_manifest(root)
+        dropped_pair = [manifest.entries[1]["in"], manifest.entries[1]["out"]]
+        log = DSLog.load(root, autosync=False)
+        report = log.scrub(repair=True)
+        assert report["dropped_entries"] == [dropped_pair]
+        # the catalog pruned the dropped entry: no dangling refs anywhere
+        assert len(log.catalog) == 3
+        assert log.catalog.materialize_all() == 6
+        assert log.scrub(repair=False)["clean"]
+        log.close()
+        reopened = DSLog.load(root)
+        assert len(reopened.catalog) == 3
+        reopened.close()
+
+    def test_torn_tail_repair_evacuates_all_records(self, tmp_path):
+        root = tmp_path / "db"
+        names = build(root, 4)
+        segment = root / load_manifest(root).segments[-1]
+        with open(segment, "ab") as fh:
+            fh.write(b"\xff" * 17)
+        log = DSLog.load(root, autosync=False)
+        report = log.scrub(repair=True)
+        assert report["repaired"]
+        assert report["evacuated_records"] >= 1
+        assert report["dropped_entries"] == []
+        assert log.scrub(repair=False)["clean"]
+        log.close()
+        assert_fully_readable(root, names)
+        assert not segment.exists()  # quarantined
+        assert (root / QUARANTINE_DIR / segment.name).exists()
+
+    def test_truncated_segment_salvages_valid_prefix(self, tmp_path):
+        root = tmp_path / "db"
+        names = build(root, 4)
+        manifest = load_manifest(root)
+        segment = root / manifest.segments[-1]
+        last = max(
+            (TableRef.from_json(row[o]) for row in manifest.entries for o in ("backward", "forward")),
+            key=lambda r: r.offset,
+        )
+        with open(segment, "r+b") as fh:
+            fh.truncate(last.offset + 3)  # cut mid-prefix of the last record
+        log = DSLog.load(root, autosync=False)
+        report = log.scrub(repair=True)
+        assert report["repaired"]
+        assert report["rebuilt_orientations"] == 1  # the cut record, from sibling
+        assert report["evacuated_records"] >= 1  # everything before the cut
+        assert report["dropped_entries"] == []
+        assert log.scrub(repair=False)["clean"]
+        log.close()
+        assert_fully_readable(root, names)
+
+    def test_orphan_quarantined_not_deleted(self, tmp_path):
+        root = tmp_path / "db"
+        build(root, 2)
+        log = DSLog.load(root, autosync=False)
+        orphan = root / "segment-000099.seg"
+        orphan.write_bytes(b"DSEG" + (2).to_bytes(2, "little") + b"junk")
+        report = log.scrub(repair=True)
+        log.close()
+        assert "segment-000099.seg" in report["quarantined"]
+        assert not orphan.exists()
+        moved = root / QUARANTINE_DIR / "segment-000099.seg"
+        assert moved.exists()
+        why = json.loads((moved.parent / "segment-000099.seg.json").read_text())
+        assert why["reason"] == "orphan"
+
+    def test_repair_survives_cold_restart_and_keeps_ingesting(self, tmp_path):
+        root = tmp_path / "db"
+        names = build(root, 3)
+        flip_payload_byte(root, entry_ref(root, index=0, orient="forward"))
+        log = DSLog.load(root, autosync=False)
+        log.scrub(repair=True)
+        log.close()
+        log = DSLog.load(root, autosync=False)
+        log.define_array("B", SHAPE)
+        log.add_lineage(names[3], "B", relation=elementwise(names[3], "B"))
+        log.sync()
+        log.close()
+        assert_fully_readable(root, names + ["B"])
+
+
+class TestShardedScrub:
+    def test_one_damaged_shard_healed_others_untouched(self, tmp_path):
+        root = tmp_path / "db"
+        names = build(root, 8, backend="sharded", num_shards=3)
+        damaged = None
+        for idx in range(3):
+            manifest = load_manifest(root / f"shard-{idx:02d}")
+            if manifest.entries:
+                damaged = idx
+                ref = TableRef.from_json(manifest.entries[0]["backward"])
+                flip_payload_byte(root / f"shard-{idx:02d}", ref)
+                break
+        assert damaged is not None
+        log = DSLog.load(root, autosync=False)
+        detect = log.scrub(repair=False)
+        assert not detect["shards"][damaged]["clean"]
+        assert all(r["clean"] for i, r in detect["shards"].items() if i != damaged)
+        report = log.scrub(repair=True)
+        assert report["shards"][damaged]["repaired"]
+        again = log.scrub(repair=False)
+        assert again["clean"] and all(r["clean"] for r in again["shards"].values())
+        log.close()
+        reopened = DSLog.load(root)
+        assert len(reopened.catalog) == 8
+        assert reopened.catalog.materialize_all() == 16
+        for a, b in zip(names, names[1:]):
+            assert reopened.prov_query([a, b], [(1,)]).to_cells() == {(1,)}
+        reopened.close()
+
+
+class TestScrubCLI:
+    def test_exit_codes_detect_repair_clean(self, tmp_path, capsys):
+        root = tmp_path / "db"
+        build(root, 3)
+        flip_payload_byte(root, entry_ref(root, index=0, orient="backward"))
+        assert scrub_main([str(root)]) == 1  # damage found, left in place
+        out = capsys.readouterr().out
+        assert "DAMAGED" in out and "checksum" in out
+        assert scrub_main([str(root), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out and "healed" in out
+        assert scrub_main([str(root)]) == 0  # clean after the repair
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path, capsys):
+        root = tmp_path / "db"
+        build(root, 2)
+        assert scrub_main([str(root), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True
+
+    def test_not_a_catalog_is_exit_2(self, tmp_path, capsys):
+        empty = tmp_path / "not-a-catalog"
+        empty.mkdir()
+        assert scrub_main([str(empty)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_memory_backend_refuses_scrub(self):
+        log = DSLog()
+        with pytest.raises(RuntimeError, match="segment or sharded"):
+            log.scrub()
