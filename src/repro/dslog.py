@@ -40,6 +40,7 @@ snapshot-isolated view pinned at the current catalog state.
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -67,6 +68,7 @@ from .core.relation import LineageRelation
 from .core.serialize import write_compressed
 from .faults import FaultPlan
 from .graph import LineageGraph
+from .obs import REGISTRY
 from .reuse.signatures import OperationSignature, ReuseManager
 from .storage.catalog import ArrayInfo, Catalog, LineageEntry, OperationRecord
 from .storage.store import (
@@ -82,6 +84,16 @@ __all__ = ["DSLog"]
 
 Cell = Tuple[int, ...]
 CaptureFn = Callable[[Cell], Iterable[Cell]]
+
+_PROV_QUERIES = REGISTRY.counter(
+    "dslog_prov_queries_total", "In-process prov_query calls (outermost only)"
+)
+_PROV_SECONDS = REGISTRY.histogram(
+    "dslog_prov_query_seconds", "Wall time per outermost in-process prov_query"
+)
+# graph-planned queries recurse through prov_query once per shortest path;
+# this thread-local guard keeps the metrics to one sample per user call
+_PROV_ACTIVE = threading.local()
 
 
 class DSLog:
@@ -518,6 +530,24 @@ class DSLog:
         if len(path) < 2:
             raise ValueError("a query path needs at least two arrays")
 
+        outermost = not getattr(_PROV_ACTIVE, "active", False)
+        if outermost:
+            _PROV_ACTIVE.active = True
+            started = time.monotonic()
+            try:
+                return self._prov_query_impl(path, query_cells, merge)
+            finally:
+                _PROV_ACTIVE.active = False
+                _PROV_QUERIES.inc()
+                _PROV_SECONDS.observe(time.monotonic() - started)
+        return self._prov_query_impl(path, query_cells, merge)
+
+    def _prov_query_impl(
+        self,
+        path: Sequence[str],
+        query_cells: Union[Iterable[Cell], CellBoxSet, Sequence[slice]],
+        merge: bool,
+    ) -> QueryResult:
         key = tuple(path)
         # read the version BEFORE resolving entries: if a concurrent writer
         # lands mid-resolution, the tables are cached under the older

@@ -68,6 +68,19 @@ import time
 import zlib
 from typing import Dict, List, Optional, Tuple
 
+from .obs import REGISTRY, log_event
+
+_FAULTS_INJECTED = REGISTRY.counter(
+    "dslog_faults_injected_total",
+    "Faults actually injected by an armed FaultPlan",
+    labelnames=("site", "kind"),
+)
+_BREAKER_TRANSITIONS = REGISTRY.counter(
+    "dslog_breaker_transitions_total",
+    "Circuit breaker state transitions",
+    labelnames=("scope", "to"),
+)
+
 __all__ = [
     "InjectedFault",
     "DeadlineExceeded",
@@ -216,6 +229,22 @@ class FaultRule:
         }
 
 
+def _record_injection(site: str, scope: Optional[str], kind: str) -> None:
+    """Meter and log one *real* injection.  Called outside the plan lock,
+    and only for rules that were not undone (``check()`` rolls back
+    short-write matches), so ``faults_injected_total`` equals
+    ``plan.fired()`` exactly."""
+    _FAULTS_INJECTED.labels(site=site, kind=kind).inc()
+    log_event(
+        "fault_injected",
+        level="warning",
+        component="faults",
+        site=site,
+        scope=scope,
+        kind=kind,
+    )
+
+
 class FaultPlan:
     """A set of :class:`FaultRule`\\ s plus per-(site, scope) call counters.
 
@@ -315,6 +344,7 @@ class FaultPlan:
                 rule = None
         if rule is None:
             return
+        _record_injection(site, scope, rule.kind)
         if rule.kind == "stall":
             time.sleep(rule.seconds)
             return
@@ -333,6 +363,7 @@ class FaultPlan:
             rule = self._match(site, scope)
         if rule is None:
             return None
+        _record_injection(site, scope, rule.kind)
         if rule.kind == "short_write":
             return max(0, min(nbytes - 1, int(nbytes * rule.fraction)))
         if rule.kind == "stall":
@@ -378,15 +409,31 @@ class CircuitBreaker:
       :meth:`record_failure` re-opens it (and restarts the clock).
     """
 
-    def __init__(self, failures: int = 3, reset_after: float = 30.0) -> None:
+    def __init__(
+        self, failures: int = 3, reset_after: float = 30.0, scope: str = ""
+    ) -> None:
         self.failure_threshold = max(1, int(failures))
         self.reset_after = float(reset_after)
+        self.scope = scope
         self._lock = threading.Lock()
         self._consecutive = 0
         self._state = "closed"
         self._opened_at = 0.0
         self._probing = False
         self.trips = 0
+
+    def _transition(self, to: str) -> None:
+        """Meter and log one state change (called outside the lock)."""
+        _BREAKER_TRANSITIONS.labels(scope=self.scope or "default", to=to).inc()
+        log_event(
+            "breaker_transition",
+            level="warning" if to == "open" else "info",
+            component="breaker",
+            scope=self.scope or "default",
+            to=to,
+            consecutive_failures=self._consecutive,
+            trips=self.trips,
+        )
 
     @property
     def state(self) -> str:
@@ -410,7 +457,8 @@ class CircuitBreaker:
             if time.monotonic() - self._opened_at < self.reset_after:
                 return False
             self._probing = True
-            return True
+        self._transition("half-open")
+        return True
 
     def record_failure(self) -> bool:
         """Count one fault; returns True when the breaker is now open
@@ -424,13 +472,17 @@ class CircuitBreaker:
                 self.trips += 1
             self._state = "open"
             self._opened_at = time.monotonic()
-            return True
+        self._transition("open")
+        return True
 
     def record_success(self) -> None:
         with self._lock:
+            was = self._state
             self._probing = False
             self._consecutive = 0
             self._state = "closed"
+        if was != "closed":
+            self._transition("closed")
 
     def stats(self) -> dict:
         return {

@@ -1,0 +1,338 @@
+"""Lightweight request tracing: trace ids, nested spans, contextvars
+propagation, a bounded in-memory ring of finished traces, and a
+slow-trace log.
+
+A :class:`Trace` is opened per HTTP request (by the server) and per
+ingest ticket (by ``LineagePipeline.submit``).  Within a trace, work is
+recorded as nested spans — ``plan``, ``prefetch`` with one child per
+shard, ``join``, ``cache-install`` — each carrying wall-clock duration
+and free-form tags.  Propagation uses a single :class:`~contextvars.ContextVar`
+holding ``(trace, parent span id)``; crossing a thread boundary is one
+``contextvars.copy_context()`` at submit time (see
+:func:`wrap_context`), which is how spans opened inside the executor's
+prefetch pool and the pipeline's worker/committer threads still parent
+correctly.
+
+Finished traces land in a bounded deque served by ``GET /debug/traces``;
+traces slower than the threshold (``DSLOG_SLOW_TRACE_MS`` env or
+:func:`set_slow_threshold_ms`) are additionally emitted to the
+structured log as ``slow_trace`` events.
+
+The module-level :func:`span` helper is the only API hot paths touch:
+when tracing is disabled or no trace is active it returns a cached no-op
+context manager, so uninstrumented-cost is one ContextVar read.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import itertools
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Trace",
+    "Span",
+    "start_trace",
+    "current_trace",
+    "span",
+    "wrap_context",
+    "recent_traces",
+    "clear_traces",
+    "set_ring_capacity",
+    "set_slow_threshold_ms",
+    "slow_threshold_ms",
+    "set_enabled",
+    "tracing_enabled",
+]
+
+_enabled = True
+
+
+def set_enabled(value: bool) -> None:
+    global _enabled
+    _enabled = bool(value)
+
+
+def tracing_enabled() -> bool:
+    return _enabled
+
+
+# (trace, parent span id) of the logical call chain; None outside a trace
+_CURRENT: "contextvars.ContextVar[Optional[Tuple[Trace, Optional[int]]]]" = (
+    contextvars.ContextVar("repro_obs_trace", default=None)
+)
+
+_DEFAULT_RING_CAPACITY = 256
+_ring_lock = threading.Lock()
+_ring: "deque[dict]" = deque(maxlen=_DEFAULT_RING_CAPACITY)
+
+
+def _env_slow_ms() -> float:
+    try:
+        return float(os.environ.get("DSLOG_SLOW_TRACE_MS", "250"))
+    except ValueError:
+        return 250.0
+
+
+_slow_threshold_ms = _env_slow_ms()
+
+
+def set_slow_threshold_ms(value: float) -> None:
+    """Traces at least this many milliseconds long are logged as
+    ``slow_trace`` events (0 logs every trace, ``inf`` disables)."""
+    global _slow_threshold_ms
+    _slow_threshold_ms = float(value)
+
+
+def slow_threshold_ms() -> float:
+    return _slow_threshold_ms
+
+
+def set_ring_capacity(capacity: int) -> None:
+    """Resize the finished-trace ring (keeps the newest entries)."""
+    global _ring
+    with _ring_lock:
+        _ring = deque(_ring, maxlen=max(1, int(capacity)))
+
+
+def recent_traces(limit: Optional[int] = None) -> List[dict]:
+    """Finished traces, newest first, as JSON-friendly dicts."""
+    with _ring_lock:
+        items = list(_ring)
+    items.reverse()
+    if limit is not None:
+        items = items[: max(0, int(limit))]
+    return items
+
+
+def clear_traces() -> None:
+    with _ring_lock:
+        _ring.clear()
+
+
+class Span:
+    """One timed region inside a trace.  Created via ``Trace.span`` /
+    module :func:`span`; not instantiated directly."""
+
+    __slots__ = ("span_id", "parent_id", "name", "tags", "start", "_t0", "duration_s")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        tags: Dict[str, Any],
+        start: float,
+        t0: float,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.tags = tags
+        self.start = start  # wall clock, epoch seconds
+        self._t0 = t0  # monotonic, for duration
+        self.duration_s: Optional[float] = None
+
+    def set_tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+    def as_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration_s": self.duration_s,
+            "tags": dict(self.tags),
+        }
+
+
+class Trace:
+    """A tree of spans sharing one trace id.
+
+    Thread-safe: spans opened from pool threads (after
+    :func:`wrap_context` propagation) append under the trace's lock.
+    ``finish()`` closes the trace, pushes it into the ring, and emits a
+    ``slow_trace`` log event when over threshold.
+    """
+
+    def __init__(self, name: str, **tags: Any) -> None:
+        self.trace_id = uuid.uuid4().hex[:16]
+        self.name = name
+        self.tags: Dict[str, Any] = dict(tags)
+        self.start = time.time()
+        self._t0 = time.monotonic()
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._ids = itertools.count(1)
+        self.duration_s: Optional[float] = None
+        self._finished = False
+
+    # -- span management -------------------------------------------------
+    def _open_span(self, name: str, parent_id: Optional[int], tags: Dict[str, Any]) -> Span:
+        sp = Span(
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            name=name,
+            tags=tags,
+            start=time.time(),
+            t0=time.monotonic(),
+        )
+        with self._lock:
+            self._spans.append(sp)
+        return sp
+
+    @contextlib.contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[Span]:
+        """Open a child span of whatever span is current in this context."""
+        state = _CURRENT.get()
+        parent_id = state[1] if state is not None and state[0] is self else None
+        sp = self._open_span(name, parent_id, tags)
+        token = _CURRENT.set((self, sp.span_id))
+        try:
+            yield sp
+        finally:
+            sp.duration_s = time.monotonic() - sp._t0
+            _CURRENT.reset(token)
+
+    def add_span(
+        self,
+        name: str,
+        duration_s: float,
+        parent_id: Optional[int] = None,
+        start: Optional[float] = None,
+        **tags: Any,
+    ) -> Span:
+        """Record an already-measured region (used by the pipeline, where
+        a ticket's queued/apply/commit phases are timed by different
+        threads and closed after the fact)."""
+        sp = self._open_span(name, parent_id, tags)
+        sp.start = start if start is not None else time.time()
+        sp.duration_s = duration_s
+        return sp
+
+    @contextlib.contextmanager
+    def activate(self) -> Iterator["Trace"]:
+        """Make this trace current in this thread's context (worker and
+        committer threads re-enter ticket traces through this)."""
+        token = _CURRENT.set((self, None))
+        try:
+            yield self
+        finally:
+            _CURRENT.reset(token)
+
+    def set_tag(self, key: str, value: Any) -> None:
+        with self._lock:
+            self.tags[key] = value
+
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            spans = [sp.as_dict() for sp in self._spans]
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "start": self.start,
+            "duration_s": self.duration_s,
+            "tags": dict(self.tags),
+            "spans": spans,
+        }
+
+    def finish(self) -> dict:
+        """Close the trace; idempotent (the first call wins)."""
+        with self._lock:
+            if self._finished:
+                finished = False
+            else:
+                self._finished = True
+                self.duration_s = time.monotonic() - self._t0
+                finished = True
+        payload = self.as_dict()
+        if not finished:
+            return payload
+        with _ring_lock:
+            _ring.append(payload)
+        duration_ms = (self.duration_s or 0.0) * 1000.0
+        if duration_ms >= _slow_threshold_ms:
+            from . import log as _log
+
+            _log.log_event(
+                "slow_trace",
+                component="tracing",
+                trace_id=self.trace_id,
+                trace_name=self.name,
+                duration_ms=round(duration_ms, 3),
+                spans=len(payload["spans"]),
+                tags=payload["tags"],
+            )
+        return payload
+
+
+def start_trace(name: str, **tags: Any) -> Optional[Trace]:
+    """Open a trace and make it current; ``None`` when tracing is off.
+    Callers hold the returned trace and ``finish()`` it themselves."""
+    if not _enabled:
+        return None
+    trace = Trace(name, **tags)
+    _CURRENT.set((trace, None))
+    return trace
+
+
+def current_trace() -> Optional[Trace]:
+    state = _CURRENT.get()
+    return state[0] if state is not None else None
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def set_tag(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **tags: Any):
+    """Open a span on the current trace, or a cached no-op when there is
+    no active trace (or tracing is disabled).  This is what instrumented
+    hot paths call, so the inactive cost is one ContextVar read."""
+    if not _enabled:
+        return _NOOP_SPAN
+    state = _CURRENT.get()
+    if state is None:
+        return _NOOP_SPAN
+    return state[0].span(name, **tags)
+
+
+def wrap_context(fn):
+    """Bind ``fn`` to the caller's context so the active trace (and
+    parent span) follow it across a thread-pool boundary::
+
+        pool.submit(wrap_context(load_shard), shard_id)
+
+    A plain closure over ``contextvars.copy_context()``; cheap enough to
+    wrap every pool task unconditionally.
+    """
+    ctx = contextvars.copy_context()
+
+    def _bound(*args: Any, **kwargs: Any):
+        return ctx.run(fn, *args, **kwargs)
+
+    return _bound

@@ -55,10 +55,40 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..dslog import DSLog
 from ..faults import DeadlineExceeded, IngestOverloaded
+from ..obs import REGISTRY, tracing
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS
 from ..storage.store import DEFAULT_CACHE_BYTES, DEFAULT_SEGMENT_MAX_BYTES
 from .shards import DEFAULT_NUM_SHARDS
 
 __all__ = ["IngestTicket", "LineageService", "ServiceClosedError"]
+
+_SUBMITTED = REGISTRY.counter(
+    "dslog_ingest_submitted_total", "Operations accepted by submit()"
+)
+_FAILED = REGISTRY.counter(
+    "dslog_ingest_failed_total", "Tickets resolved with an error"
+)
+_OVERLOADED = REGISTRY.counter(
+    "dslog_ingest_overloaded_total", "submit() calls shed by backpressure timeout"
+)
+_COMMITS = REGISTRY.counter(
+    "dslog_ingest_commits_total", "Group-commit manifest publishes"
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "dslog_ingest_queue_depth", "Operations waiting in the ingest queue"
+)
+_SUBMIT_WAIT = REGISTRY.histogram(
+    "dslog_ingest_submit_wait_seconds",
+    "Time submit() blocked on a full queue (backpressure)",
+)
+_COMMIT_BATCH = REGISTRY.histogram(
+    "dslog_ingest_commit_batch_size",
+    "Tickets covered per group commit",
+    buckets=DEFAULT_SIZE_BUCKETS,
+)
+_TICKET_SECONDS = REGISTRY.histogram(
+    "dslog_ingest_ticket_seconds", "Submit-to-durable latency per ticket"
+)
 
 _SENTINEL = object()
 _DEFAULT_TIMEOUT = object()  # submit(timeout=...) not given: use the service default
@@ -86,6 +116,7 @@ class IngestTicket:
         "_error",
         "_event",
         "_applied_epoch",
+        "_trace",
     )
 
     def __init__(self, spec: Dict[str, Any]) -> None:
@@ -97,6 +128,9 @@ class IngestTicket:
         self._error: Optional[BaseException] = None
         self._event = threading.Event()
         self._applied_epoch = 0  # store torn-write epoch when the op applied
+        # per-ticket trace (queued → apply → commit spans recorded by the
+        # worker and committer threads); None when tracing is disabled
+        self._trace: Optional[tracing.Trace] = None
 
     # -- service-side transitions --------------------------------------
     def _mark_applied(self, record: Any) -> None:
@@ -109,11 +143,21 @@ class IngestTicket:
 
     def _mark_durable(self, when: float) -> None:
         self.durable_at = when
+        if self._trace is not None:
+            self._trace.set_tag("outcome", "durable")
+            self._trace.finish()
         self._event.set()
 
     def _mark_failed(self, error: BaseException) -> None:
         self._error = error
         self.spec = None
+        if self._trace is not None:
+            self._trace.set_tag("outcome", "failed")
+            self._trace.set_tag("error", type(error).__name__)
+            site = getattr(error, "site", None)
+            if site is not None:
+                self._trace.set_tag("fault_site", site)
+            self._trace.finish()
         self._event.set()
 
     # -- caller API ----------------------------------------------------
@@ -320,9 +364,12 @@ class LineageService:
         if timeout is _DEFAULT_TIMEOUT:
             timeout = self.submit_timeout
         ticket = IngestTicket(spec)
+        if tracing.tracing_enabled():
+            ticket._trace = tracing.Trace("ingest", kind=spec["kind"])
         with self._cv:
             self._inflight += 1
             self.submitted += 1
+        waited = time.monotonic()
         try:
             self._queue.put(ticket, timeout=timeout)
         except BaseException as error:
@@ -331,6 +378,8 @@ class LineageService:
                 self.submitted -= 1
                 self.overloaded += isinstance(error, queue.Full)
             if isinstance(error, queue.Full):
+                _OVERLOADED.inc()
+                _SUBMIT_WAIT.observe(time.monotonic() - waited)
                 raise IngestOverloaded(
                     f"ingest queue full ({self._queue.maxsize} deep) for "
                     f"{timeout}s; the service is overloaded or its committer "
@@ -338,6 +387,9 @@ class LineageService:
                     queue_depth=self._queue.qsize(),
                 ) from None
             raise
+        _SUBMITTED.inc()
+        _SUBMIT_WAIT.observe(time.monotonic() - waited)
+        _QUEUE_DEPTH.set(self._queue.qsize())
         return ticket
 
     def _check_open(self) -> None:
@@ -363,6 +415,30 @@ class LineageService:
         epoch_fn = getattr(getattr(self.log, "store", None), "torn_epoch", None)
         return 0 if epoch_fn is None else epoch_fn()
 
+    def _apply_spec(self, spec: Dict[str, Any]) -> Any:
+        if self.faults is not None:
+            self.faults.check("service.worker", "pipeline")
+        if spec["kind"] == "operation":
+            return self.log.register_operation(
+                spec["op_name"],
+                spec["in_arrs"],
+                spec["out_arrs"],
+                relations=spec["relations"],
+                captures=spec["captures"],
+                input_data=spec["input_data"],
+                op_args=spec["op_args"],
+                reuse=spec["reuse"],
+                replace=spec["replace"],
+            )
+        return self.log.add_lineage(
+            spec["in_arr"],
+            spec["out_arr"],
+            relation=spec["relation"],
+            capture=spec["capture"],
+            op_name=spec["op_name"],
+            replace=spec["replace"],
+        )
+
     def _apply(self, ticket: IngestTicket) -> None:
         spec = ticket.spec
         # snapshot the torn-write epoch before touching the catalog: if a
@@ -370,31 +446,19 @@ class LineageService:
         # record may be among them — the commit-time epoch check will
         # refuse to acknowledge it
         epoch = self._torn_epoch()
+        trace = ticket._trace
+        if trace is not None:
+            trace.add_span("queued", time.monotonic() - ticket.submitted_at)
         try:
-            if self.faults is not None:
-                self.faults.check("service.worker", "pipeline")
-            if spec["kind"] == "operation":
-                record = self.log.register_operation(
-                    spec["op_name"],
-                    spec["in_arrs"],
-                    spec["out_arrs"],
-                    relations=spec["relations"],
-                    captures=spec["captures"],
-                    input_data=spec["input_data"],
-                    op_args=spec["op_args"],
-                    reuse=spec["reuse"],
-                    replace=spec["replace"],
-                )
+            if trace is not None:
+                # re-enter the ticket's trace on this worker thread so the
+                # apply span (and anything opened beneath it) nests there
+                with trace.activate(), trace.span("apply", kind=spec["kind"]):
+                    record = self._apply_spec(spec)
             else:
-                record = self.log.add_lineage(
-                    spec["in_arr"],
-                    spec["out_arr"],
-                    relation=spec["relation"],
-                    capture=spec["capture"],
-                    op_name=spec["op_name"],
-                    replace=spec["replace"],
-                )
+                record = self._apply_spec(spec)
         except BaseException as error:
+            _FAILED.inc()
             with self._cv:
                 self._inflight -= 1
                 self.failed += 1
@@ -441,6 +505,7 @@ class LineageService:
                     self._cv.notify_all()
 
     def _commit(self, batch: List[IngestTicket]) -> None:
+        commit_started = time.monotonic()
         try:
             if self.faults is not None:
                 # "stall" rules model a slow committer (fsync on a sick
@@ -448,9 +513,15 @@ class LineageService:
                 self.faults.check("service.commit", "pipeline")
             self.log.sync()
         except BaseException as error:
+            commit_seconds = time.monotonic() - commit_started
+            _FAILED.inc(len(batch))
             with self._cv:
                 for ticket in batch:
                     self.failed += 1
+                    if ticket._trace is not None:
+                        ticket._trace.add_span(
+                            "commit", commit_seconds, batch=len(batch)
+                        )
                     ticket._mark_failed(error)
                 self._cv.notify_all()
         else:
@@ -461,11 +532,20 @@ class LineageService:
             # rest fail, their dangling rows are scrub's to reconcile
             epoch = self._torn_epoch()
             now = time.monotonic()
+            commit_seconds = now - commit_started
+            _COMMITS.inc()
+            _COMMIT_BATCH.observe(len(batch))
+            failed_tickets = 0
             with self._cv:
                 self.commits += 1
                 for ticket in batch:
+                    if ticket._trace is not None:
+                        ticket._trace.add_span(
+                            "commit", commit_seconds, batch=len(batch)
+                        )
                     if ticket._applied_epoch != epoch:
                         self.failed += 1
+                        failed_tickets += 1
                         ticket._mark_failed(
                             OSError(
                                 errno.EIO,
@@ -475,9 +555,12 @@ class LineageService:
                         )
                         continue
                     self.committed_ops += 1
+                    _TICKET_SECONDS.observe(now - ticket.submitted_at)
                     ticket._mark_durable(now)
                 self.largest_commit = max(self.largest_commit, len(batch))
                 self._cv.notify_all()
+            if failed_tickets:
+                _FAILED.inc(failed_tickets)
 
     # ------------------------------------------------------------------
     # flush / close / maintenance

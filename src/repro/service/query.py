@@ -80,6 +80,7 @@ from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from ..core.query import QueryResult, execute_path
 from ..faults import CircuitBreaker, DeadlineExceeded, ShardUnavailable
+from ..obs import REGISTRY, tracing
 from ..storage.segments import CorruptRecordError
 
 __all__ = [
@@ -90,6 +91,32 @@ __all__ = [
 ]
 
 DEFAULT_CACHE_ENTRIES = 256
+
+_QUERIES = REGISTRY.counter(
+    "dslog_queries_total", "Queries planned and executed (cache misses included)"
+)
+_RESULT_HITS = REGISTRY.counter(
+    "dslog_result_cache_hits_total", "Result-cache lookups served fresh"
+)
+_RESULT_MISSES = REGISTRY.counter(
+    "dslog_result_cache_misses_total", "Result-cache lookups that re-ran the query"
+)
+_RESULT_INVALIDATIONS = REGISTRY.counter(
+    "dslog_result_cache_invalidations_total",
+    "Cached results found stale against the shard version vector",
+)
+_RESULT_STALE_SERVES = REGISTRY.counter(
+    "dslog_result_cache_stale_serves_total",
+    "Stale cached results served degraded behind a tripped breaker",
+)
+_DEADLINE_MISSES = REGISTRY.counter(
+    "dslog_query_deadline_misses_total", "Queries that ran out of deadline budget"
+)
+_PREFETCH_SECONDS = REGISTRY.histogram(
+    "dslog_prefetch_seconds",
+    "Per-shard hop-table hydration latency during query fan-out",
+    labelnames=("shard",),
+)
 
 
 class QueryOutcome(NamedTuple):
@@ -148,6 +175,7 @@ class ResultCache:
             item = self._items.get(key)
             if item is None:
                 self.misses += 1
+                _RESULT_MISSES.inc()
                 return False, None
             deps, value = item
             for shard, version in deps:
@@ -156,9 +184,12 @@ class ResultCache:
                     # fallback should this query's shard become unavailable
                     self.invalidations += 1
                     self.misses += 1
+                    _RESULT_INVALIDATIONS.inc()
+                    _RESULT_MISSES.inc()
                     return False, None
             self._items.move_to_end(key)
             self.hits += 1
+            _RESULT_HITS.inc()
             return True, value
 
     def lookup_stale(self, key: bytes) -> Tuple[bool, Any]:
@@ -173,6 +204,7 @@ class ResultCache:
                 return False, None
             self._items.move_to_end(key)
             self.stale_hits += 1
+            _RESULT_STALE_SERVES.inc()
             return True, item[1]
 
     def store(self, key: bytes, deps: DepVector, value: Any) -> None:
@@ -274,6 +306,7 @@ class QueryExecutor:
                 breaker = CircuitBreaker(
                     failures=self.breaker_failures,
                     reset_after=self.breaker_reset_after,
+                    scope=f"shard-{shard:02d}",
                 )
                 self._breakers[shard] = breaker
             return breaker
@@ -464,9 +497,16 @@ class QueryExecutor:
         # entry stale, never fresher than its key)
         live = self._live_versions()
         hit, value = self.cache.lookup(key, live)
+        trace = tracing.current_trace()
         if hit:
+            if trace is not None:
+                trace.set_tag("cache", "hit")
             return QueryOutcome(value, True, False)
+        if trace is not None:
+            trace.set_tag("cache", "miss")
+            trace.set_tag("path_len", len(path))
 
+        _QUERIES.inc()
         with self._stats_lock:
             self.queries += 1
         if deadline is None:
@@ -475,8 +515,11 @@ class QueryExecutor:
 
         pin = self._pin_stores()
         try:
-            paths, direct = self._plan(path)
-            shards = self._home_shards(paths)
+            with tracing.span("plan") as plan_span:
+                paths, direct = self._plan(path)
+                shards = self._home_shards(paths)
+                plan_span.set_tag("paths", len(paths))
+                plan_span.set_tag("shards", sorted(shards))
 
             # breaker gate: a tripped home shard means the failing disk is
             # not touched at all — serve the stale answer or refuse cleanly
@@ -490,6 +533,7 @@ class QueryExecutor:
                     paths, box_set, merge, parallel=parallel, deadline_at=deadline_at
                 )
             except DeadlineExceeded as exc:
+                _DEADLINE_MISSES.inc()
                 with self._stats_lock:
                     self.deadline_misses += 1
                 shard = exc.shard if exc.shard is not None else self._fault_shard(exc, shards)
@@ -506,7 +550,8 @@ class QueryExecutor:
         finally:
             if pin is not None:
                 pin()
-        self.cache.store(key, deps, result)
+        with tracing.span("cache-install"):
+            self.cache.store(key, deps, result)
         return QueryOutcome(result, False, False)
 
     def _breaker_allows(self, shard: int) -> bool:
@@ -525,6 +570,10 @@ class QueryExecutor:
         re-raise the underlying fault when there is nothing to serve."""
         stale_hit, stale = self.cache.lookup_stale(key)
         if stale_hit:
+            trace = tracing.current_trace()
+            if trace is not None:
+                trace.set_tag("cache", "stale")
+                trace.set_tag("degraded", True)
             with self._stats_lock:
                 self.degraded_serves += 1
             return QueryOutcome(stale, True, True)
@@ -630,15 +679,28 @@ class QueryExecutor:
                 pair = (entry.in_name, entry.out_name)
                 shard = entry_shard(pair) if entry_shard is not None else 0
                 by_shard.setdefault(shard, []).append((entry, first))
-        if len(by_shard) <= 1 and deadline_at is None:
-            return  # single failure domain, no budget: skip the pool hop
 
-        def load(tasks: List[Tuple[Any, str]]) -> None:
-            for entry, keyed_on in tasks:
-                entry.table_keyed_on(keyed_on)
+        def load(shard: int, tasks: List[Tuple[Any, str]]) -> None:
+            started = time.monotonic()
+            with tracing.span("prefetch-shard", shard=shard, tables=len(tasks)):
+                for entry, keyed_on in tasks:
+                    entry.table_keyed_on(keyed_on)
+            _PREFETCH_SECONDS.labels(shard=str(shard)).observe(
+                time.monotonic() - started
+            )
+
+        if len(by_shard) <= 1 and deadline_at is None:
+            # single failure domain, no budget: skip the pool hop.  With a
+            # trace active, still record the per-shard prefetch span (the
+            # trace contract: one prefetch-shard span per home shard) —
+            # just inline, without paying the pool round trip.
+            if tracing.current_trace() is not None:
+                for shard, tasks in by_shard.items():
+                    load(shard, tasks)
+            return
 
         futures = {
-            self._pool.submit(load, tasks): shard
+            self._pool.submit(tracing.wrap_context(load), shard, tasks): shard
             for shard, tasks in by_shard.items()
         }
         with self._stats_lock:
@@ -667,25 +729,32 @@ class QueryExecutor:
         deadline_at: Optional[float] = None,
     ) -> QueryResult:
         if parallel:
-            self._prefetch_tables(paths, deadline_at=deadline_at)
-        if parallel and self._pool is not None and len(paths) > 1:
-            futures = [
-                self._pool.submit(self._execute_one, p, box_set, merge) for p in paths
-            ]
-            with self._stats_lock:
-                self.parallel_paths += len(futures)
-            try:
-                results = [
-                    future.result(timeout=self._remaining(deadline_at, None))
-                    for future in futures
+            with tracing.span("prefetch"):
+                self._prefetch_tables(paths, deadline_at=deadline_at)
+        with tracing.span("join", paths=len(paths)):
+            if parallel and self._pool is not None and len(paths) > 1:
+                futures = [
+                    self._pool.submit(
+                        tracing.wrap_context(self._execute_one), p, box_set, merge
+                    )
+                    for p in paths
                 ]
-            except TimeoutError as exc:
-                if isinstance(exc, DeadlineExceeded):
-                    raise
-                raise DeadlineExceeded("query deadline exceeded", shard=None) from None
-        else:
-            results = [self._execute_one(p, box_set, merge) for p in paths]
-        return QueryResult.union(results, merge=merge)
+                with self._stats_lock:
+                    self.parallel_paths += len(futures)
+                try:
+                    results = [
+                        future.result(timeout=self._remaining(deadline_at, None))
+                        for future in futures
+                    ]
+                except TimeoutError as exc:
+                    if isinstance(exc, DeadlineExceeded):
+                        raise
+                    raise DeadlineExceeded(
+                        "query deadline exceeded", shard=None
+                    ) from None
+            else:
+                results = [self._execute_one(p, box_set, merge) for p in paths]
+            return QueryResult.union(results, merge=merge)
 
     def _execute_one(self, path: Sequence[str], box_set, merge: bool) -> QueryResult:
         return execute_path(self._resolve_tables(path), box_set, merge=merge)

@@ -22,6 +22,12 @@ JSON API
                                cache/executor stats, per-shard circuit-breaker
                                states (``"status": "degraded"`` while any breaker
                                is open)
+``/metrics``             GET   the whole :data:`repro.obs.REGISTRY` in Prometheus
+                               text exposition format (``text/plain;
+                               version=0.0.4``) — the only non-JSON endpoint
+``/debug/traces``        GET   recently finished traces, newest first
+                               (``?limit=N`` caps the reply); spans carry wall
+                               time and tags (shard, cache outcome, fault site)
 ``/admin/scrub``         POST  ``{"repair": bool}`` (body optional) → full scrub
                                report; with ``"repair": true`` the catalog is
                                healed in place (:mod:`repro.storage.scrub`)
@@ -57,8 +63,30 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..faults import DeadlineExceeded, IngestOverloaded, ShardUnavailable
+from ..obs import REGISTRY, log_event, tracing
 from ..storage.catalog import AmbiguousLineageError
 from .query import DEFAULT_CACHE_ENTRIES, QueryExecutor
+
+_HTTP_REQUESTS = REGISTRY.counter(
+    "dslog_http_requests_total",
+    "HTTP requests served, by endpoint and status code",
+    labelnames=("endpoint", "status"),
+)
+_HTTP_SECONDS = REGISTRY.histogram(
+    "dslog_http_request_seconds",
+    "Wall time per HTTP request, by endpoint",
+    labelnames=("endpoint",),
+)
+
+# endpoints that open a per-request trace (the observability surfaces
+# themselves — /metrics, /debug/traces, /healthz — would only self-spam)
+_TRACED_ENDPOINTS = {
+    "/query",
+    "/graph/impact",
+    "/graph/dependencies",
+    "/graph/summary",
+    "/admin/scrub",
+}
 
 __all__ = [
     "LineageServer",
@@ -181,13 +209,31 @@ class _Handler(BaseHTTPRequestHandler):
     lineage: "LineageServer" = None
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # request logging is the host application's business
+        # BaseHTTPRequestHandler's per-response log line, routed through
+        # the structured logger at DEBUG — quiet by default, one
+        # DSLOG_LOG_LEVEL=DEBUG away when needed.  The richer per-request
+        # event (endpoint, status, latency) is emitted by _dispatch at INFO.
+        log_event(
+            "http_log",
+            level="debug",
+            component="server",
+            client=self.client_address[0],
+            line=format % args,
+        )
 
     # -- plumbing -------------------------------------------------------
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -210,10 +256,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         parsed = urllib.parse.urlparse(self.path)
-        route = (method, parsed.path.rstrip("/") or "/")
+        endpoint = parsed.path.rstrip("/") or "/"
+        route = (method, endpoint)
         handler = _ROUTES.get(route)
         if handler is None:
-            if any(existing[1] == route[1] for existing in _ROUTES):
+            if any(existing[1] == endpoint for existing in _ROUTES):
                 self._send_error_payload(
                     405, "method-not-allowed", f"{method} is not supported on {parsed.path}"
                 )
@@ -221,28 +268,73 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error_payload(
                     404, "not-found", f"unknown endpoint {parsed.path!r}"
                 )
+            # unknown paths share one label value so a URL scanner cannot
+            # blow up the endpoint cardinality
+            _HTTP_REQUESTS.labels(endpoint="(unrouted)", status="404").inc()
             return
+        started = time.monotonic()
+        trace: Optional[tracing.Trace] = None
+        if endpoint in _TRACED_ENDPOINTS and tracing.tracing_enabled():
+            trace = tracing.Trace("http", endpoint=endpoint, method=method)
+        status = self._run_route(handler, parsed, trace)
+        elapsed = time.monotonic() - started
+        if trace is not None:
+            trace.set_tag("status", status)
+            trace.finish()
+        _HTTP_REQUESTS.labels(endpoint=endpoint, status=str(status)).inc()
+        _HTTP_SECONDS.labels(endpoint=endpoint).observe(elapsed)
+        log_event(
+            "request",
+            component="server",
+            method=method,
+            endpoint=endpoint,
+            status=status,
+            ms=round(elapsed * 1000.0, 3),
+            client=self.client_address[0],
+            trace_id=trace.trace_id if trace is not None else None,
+        )
+
+    def _run_route(self, handler, parsed, trace: "Optional[tracing.Trace]") -> int:
+        """Execute one route handler inside the request's trace context and
+        send the response (JSON, or raw text for ``(content_type, text)``
+        payloads like /metrics); returns the HTTP status actually sent."""
         try:
-            status, payload = handler(self.lineage, self, parsed)
+            if trace is not None:
+                with trace.activate():
+                    status, payload = handler(self.lineage, self, parsed)
+            else:
+                status, payload = handler(self.lineage, self, parsed)
         except _BadJson as error:
             self._send_error_payload(400, "bad-json", f"malformed JSON body: {error}")
+            return 400
         except (ValueError, AmbiguousLineageError) as error:
             self._send_error_payload(400, "bad-request", str(error))
+            return 400
         except KeyError as error:
             self._send_error_payload(404, "not-found", str(error.args[0] if error.args else error))
+            return 404
         except DeadlineExceeded as error:
             # before OSError: TimeoutError is an OSError subclass on 3.10+
             self._send_error_payload(504, "deadline-exceeded", str(error))
+            return 504
         except ShardUnavailable as error:
             self._send_error_payload(503, "shard-unavailable", str(error))
+            return 503
         except IngestOverloaded as error:
             self._send_error_payload(503, "overloaded", str(error))
+            return 503
         except OSError as error:
             self._send_error_payload(503, "io-error", f"{type(error).__name__}: {error}")
+            return 503
         except Exception as error:  # noqa: BLE001 - must never hang the socket
             self._send_error_payload(500, "internal", f"{type(error).__name__}: {error}")
+            return 500
+        if isinstance(payload, tuple):
+            content_type, text = payload
+            self._send_text(status, text, content_type)
         else:
             self._send_json(status, payload)
+        return status
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         self._dispatch("GET")
@@ -311,7 +403,43 @@ def _route_healthz(server: "LineageServer", handler: _Handler, parsed) -> Tuple[
         "generations": generations,
         "breakers": {str(shard): stats for shard, stats in breakers.items()},
         "executor": server.executor.stats(),
+        "storage": _storage_stats(store),
+        "metrics": REGISTRY.snapshot(),
     }
+
+
+def _storage_stats(store) -> dict:
+    """One shape for both backends: write coalescing, table cache, and mmap
+    reader stats, pulled from the same objects the metrics registry meters."""
+    if store is None:
+        return {}
+    stats: Dict[str, Any] = {}
+    if hasattr(store, "write_stats"):
+        stats["writes"] = store.write_stats()
+    if hasattr(store, "cache_stats"):  # sharded: one entry per shard
+        stats["table_cache"] = store.cache_stats()
+    elif hasattr(store, "cache"):
+        stats["table_cache"] = store.cache.stats()
+    if hasattr(store, "reader_stats"):
+        stats["readers"] = store.reader_stats()
+    return stats
+
+
+def _route_metrics(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, tuple]:
+    return 200, ("text/plain; version=0.0.4; charset=utf-8", REGISTRY.render())
+
+
+def _route_traces(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
+    params = urllib.parse.parse_qs(parsed.query)
+    limit = None
+    if params.get("limit"):
+        try:
+            limit = int(params["limit"][0])
+        except ValueError:
+            raise ValueError("the 'limit' query parameter must be an integer") from None
+        if limit <= 0:
+            raise ValueError("the 'limit' query parameter must be positive")
+    return 200, {"traces": tracing.recent_traces(limit)}
 
 
 def _route_scrub(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
@@ -331,6 +459,8 @@ _ROUTES = {
     ("GET", "/graph/dependencies"): _route_dependencies,
     ("GET", "/graph/summary"): _route_summary,
     ("GET", "/healthz"): _route_healthz,
+    ("GET", "/metrics"): _route_metrics,
+    ("GET", "/debug/traces"): _route_traces,
     ("POST", "/admin/scrub"): _route_scrub,
 }
 
@@ -579,3 +709,24 @@ class LineageClient:
         """Run the server-side fsck (``POST /admin/scrub``); returns the
         scrub report.  ``repair=True`` heals the catalog in place."""
         return self._request("POST", "/admin/scrub", {"repair": repair})["scrub"]
+
+    def metrics_text(self) -> str:
+        """Fetch ``GET /metrics`` as raw Prometheus exposition text (the
+        one endpoint that is not JSON, so it bypasses :meth:`_request`)."""
+        request = urllib.request.Request(self.url + "/metrics", method="GET")
+        self.requests_sent += 1
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise self._server_error(error) from None
+        except urllib.error.URLError as error:
+            raise LineageConnectionError(str(error)) from error
+
+    def traces(self, limit: Optional[int] = None) -> list:
+        """Fetch recently finished traces (``GET /debug/traces``),
+        newest first."""
+        route = "/debug/traces"
+        if limit is not None:
+            route += "?" + urllib.parse.urlencode({"limit": limit})
+        return self._request("GET", route)["traces"]

@@ -58,6 +58,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 from ..core.compressed import CompressedLineage
 from ..core.serialize import serialize_table
 from ..faults import FaultPlan
+from ..obs import REGISTRY, log_event
 from ..storage.catalog import Catalog, LineageConflictError, LineageEntry, OperationRecord
 from ..storage.store import (
     DEFAULT_CACHE_BYTES,
@@ -79,6 +80,12 @@ __all__ = [
 SHARDS_NAME = "SHARDS.json"
 SHARDS_FORMAT = "dslog-sharded-store"
 SHARDS_FORMAT_VERSION = 1
+
+_SHARD_REOPENS = REGISTRY.counter(
+    "dslog_shard_reopens_total",
+    "Shard recovery probes (reset + scrub-and-repair) by outcome",
+    labelnames=("outcome",),
+)
 DEFAULT_NUM_SHARDS = 4
 META_SHARD = 0
 
@@ -361,14 +368,38 @@ class ShardedLineageStore:
             with self._shard_locks[idx]:
                 shard = self.shards[idx]
                 shard.reset_io()
-                report = scrub_store(shard, repair=True, serialize_lock=self.meta_lock)
-                # prove the shard serves reads again before declaring it
-                # healthy: hydrate one referenced record end to end
-                for row in shard.manifest.entries:
-                    shard.load_table(
-                        shard.resolve(TableRef.from_json(row["backward"]))
+                try:
+                    report = scrub_store(
+                        shard, repair=True, serialize_lock=self.meta_lock
                     )
-                    break
+                    # prove the shard serves reads again before declaring it
+                    # healthy: hydrate one referenced record end to end
+                    for row in shard.manifest.entries:
+                        shard.load_table(
+                            shard.resolve(TableRef.from_json(row["backward"]))
+                        )
+                        break
+                except Exception as exc:
+                    _SHARD_REOPENS.labels(outcome="failed").inc()
+                    log_event(
+                        "shard_reopen",
+                        level="error",
+                        component="shards",
+                        shard=idx,
+                        outcome="failed",
+                        error=str(exc),
+                    )
+                    raise
+                _SHARD_REOPENS.labels(outcome="ok").inc()
+                log_event(
+                    "shard_reopen",
+                    level="info",
+                    component="shards",
+                    shard=idx,
+                    outcome="ok",
+                    clean=report["clean"],
+                    repaired=report["repaired"],
+                )
                 return report
 
     def close(self) -> None:

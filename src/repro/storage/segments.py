@@ -69,6 +69,29 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..faults import FaultPlan, InjectedFault
+from ..obs import REGISTRY
+
+_SEG_FLUSHES = REGISTRY.counter(
+    "dslog_segment_flushes_total", "Coalesced batch writes that reached the OS"
+)
+_SEG_FLUSH_BYTES = REGISTRY.counter(
+    "dslog_segment_flush_bytes_total", "Bytes handed to the OS by coalesced writes"
+)
+_SEG_FLUSH_RECORDS = REGISTRY.counter(
+    "dslog_segment_flush_records_total", "Records covered by coalesced writes"
+)
+_SEG_TORN_WRITES = REGISTRY.counter(
+    "dslog_segment_torn_writes_total", "Short writes that destroyed pending bytes"
+)
+_SEG_FSYNCS = REGISTRY.counter(
+    "dslog_segment_fsyncs_total", "fsync durability barriers on segment files"
+)
+_SEG_READS = REGISTRY.counter(
+    "dslog_segment_reads_total", "Record hydrations served from mapped segments"
+)
+_SEG_REMAPS = REGISTRY.counter(
+    "dslog_segment_mmap_remaps_total", "Segment mmap creations and growth remaps"
+)
 
 __all__ = [
     "SEGMENT_MAGIC",
@@ -248,6 +271,7 @@ class SegmentWriter:
                     self._pending_bytes = 0
                     self._pending_records = 0
                     self.torn_writes += 1
+                    _SEG_TORN_WRITES.inc()
                     raise InjectedFault(
                         "segment.write",
                         self.scope,
@@ -262,8 +286,12 @@ class SegmentWriter:
             self._flushed += len(buffer)
             self.coalesced_writes += 1
             self.coalesced_records += self._pending_records
+            records = self._pending_records
             self._pending_records = 0
-            return len(buffer)
+        _SEG_FLUSHES.inc()
+        _SEG_FLUSH_BYTES.inc(len(buffer))
+        _SEG_FLUSH_RECORDS.inc(records)
+        return len(buffer)
 
     def sync(self) -> int:
         """Force appended records to stable storage: one write of the whole
@@ -272,6 +300,7 @@ class SegmentWriter:
         if self.faults is not None:
             self.faults.check("segment.fsync", self.scope)
         os.fsync(self._fh.fileno())
+        _SEG_FSYNCS.inc()
         return flushed
 
     def close(self) -> None:
@@ -335,6 +364,7 @@ class SegmentReader:
         # outstanding views keep it alive, and GC reclaims it afterwards
         self._mm = mmap.mmap(self._fh.fileno(), size, access=mmap.ACCESS_READ)
         self._mapped = size
+        _SEG_REMAPS.inc()
 
     @property
     def mapped_size(self) -> int:
@@ -354,6 +384,7 @@ class SegmentReader:
         """
         if self.faults is not None:
             self.faults.check("segment.read", self.scope)
+        _SEG_READS.inc()
         end = offset + self._overhead + length
         with self._lock:
             if self._mm is None:

@@ -51,6 +51,7 @@ from typing import Dict, List, NamedTuple, Optional, Tuple, Union
 from ..core.compressed import CompressedLineage
 from ..core.serialize import deserialize_table, serialize_table
 from ..faults import FaultPlan
+from ..obs import REGISTRY
 from .catalog import Catalog, LineageEntry
 from .manifest import Manifest, dump_manifest, load_manifest, write_manifest
 from .segments import SegmentReader, SegmentWriter
@@ -67,6 +68,30 @@ __all__ = [
 
 DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
 DEFAULT_SEGMENT_MAX_BYTES = 16 * 1024 * 1024
+
+_CACHE_HITS = REGISTRY.counter(
+    "dslog_table_cache_hits_total", "Table cache lookups served from memory"
+)
+_CACHE_MISSES = REGISTRY.counter(
+    "dslog_table_cache_misses_total", "Table cache lookups that fell through to a segment"
+)
+_CACHE_EVICTIONS = REGISTRY.counter(
+    "dslog_table_cache_evictions_total", "Tables dropped by the LRU byte budget"
+)
+# process-wide resident table bytes, maintained as inc/dec deltas because
+# many TableCache instances (one per shard) feed the same series
+_CACHE_BYTES = REGISTRY.gauge(
+    "dslog_table_cache_bytes", "Materialized table bytes resident across all caches"
+)
+_TABLES_DESERIALIZED = REGISTRY.counter(
+    "dslog_tables_deserialized_total", "Segment payloads decoded into tables"
+)
+_MANIFEST_PUBLISHES = REGISTRY.counter(
+    "dslog_manifest_publishes_total", "Atomic manifest publishes (durability points)"
+)
+_COMPACTIONS = REGISTRY.counter(
+    "dslog_compactions_total", "Store compactions (live-record rewrites)"
+)
 
 
 class TableRef(NamedTuple):
@@ -109,29 +134,42 @@ class TableCache:
             table = self._items.get(ref)
             if table is None:
                 self.misses += 1
+                _CACHE_MISSES.inc()
                 return None
             self._items.move_to_end(ref)
             self.hits += 1
+            _CACHE_HITS.inc()
             return table
 
     def put(self, ref: TableRef, table: CompressedLineage) -> None:
+        evicted = 0
+        evicted_bytes = 0
         with self._lock:
             if ref in self._items:
                 self._items.move_to_end(ref)
                 return
             self._items[ref] = table
-            self.current_bytes += table.nbytes()
+            added = table.nbytes()
+            self.current_bytes += added
             # evict least recently used down to the budget, but never the entry
             # just inserted: a single oversized table would otherwise thrash
             while self.current_bytes > self.budget_bytes and len(self._items) > 1:
                 _old_ref, old_table = self._items.popitem(last=False)
-                self.current_bytes -= old_table.nbytes()
+                dropped = old_table.nbytes()
+                self.current_bytes -= dropped
                 self.evictions += 1
+                evicted += 1
+                evicted_bytes += dropped
+        _CACHE_BYTES.inc(added - evicted_bytes)
+        if evicted:
+            _CACHE_EVICTIONS.inc(evicted)
 
     def clear(self) -> None:
         with self._lock:
+            dropped = self.current_bytes
             self._items.clear()
             self.current_bytes = 0
+        _CACHE_BYTES.dec(dropped)
 
     def stats(self) -> dict:
         with self._lock:
@@ -452,6 +490,7 @@ class LineageStore:
                 continue
             table = deserialize_table(payload)
             self.tables_deserialized += 1
+            _TABLES_DESERIALIZED.inc()
             table._segment_ref = resolved
             table._segment_owner = self
             self.cache.put(resolved, table)
@@ -475,6 +514,7 @@ class LineageStore:
         if self.faults is not None:
             self.faults.check("manifest.write", self.scope)
         write_manifest(self.root, data)
+        _MANIFEST_PUBLISHES.inc()
         return self.manifest.generation
 
     def generation_vector(self) -> Tuple[int, ...]:
@@ -491,6 +531,9 @@ class LineageStore:
         with self._pin_lock:
             if self._pins == 0:
                 self._delete_retired()
+        # release this store's contribution to the resident-bytes gauge
+        # (compaction repopulates the cache lazily after its own close)
+        self.cache.clear()
 
     def reset_io(self) -> None:
         """Drop every open file handle and cached table, as a process
@@ -638,6 +681,7 @@ class LineageStore:
         # mappings' reference chain until the last view is released
         self._drop_readers(old_segments)
         self.cache.clear()
+        _COMPACTIONS.inc()
         return {
             "records_copied": copied,
             "segments_before": len(old_segments),

@@ -1,0 +1,269 @@
+"""The metrics core: exactness under thread hammering, bucket quantile
+math, the Prometheus text round trip, and registry semantics."""
+
+import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import set_enabled
+from repro.obs.metrics import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    quantile_from_buckets,
+    render_prometheus,
+    sample_value,
+)
+
+THREADS = 8
+PER_THREAD = 5_000
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# concurrency: exact totals, no lost updates
+# ----------------------------------------------------------------------
+def test_counter_hammer_exact_total(registry):
+    counter = registry.counter("hammer_total", "t")
+    barrier = threading.Barrier(THREADS)
+
+    def work():
+        barrier.wait()
+        for _ in range(PER_THREAD):
+            counter.inc()
+
+    threads = [threading.Thread(target=work) for _ in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == THREADS * PER_THREAD
+
+
+def test_labeled_counter_hammer_exact_per_series(registry):
+    counter = registry.counter("hammer_labeled_total", "t", labelnames=("worker",))
+    barrier = threading.Barrier(THREADS)
+
+    def work(idx):
+        child = counter.labels(worker=str(idx % 2))
+        barrier.wait()
+        for _ in range(PER_THREAD):
+            child.inc()
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.labels(worker="0").value == THREADS // 2 * PER_THREAD
+    assert counter.labels(worker="1").value == THREADS // 2 * PER_THREAD
+
+
+def test_histogram_hammer_exact_count_and_sum(registry):
+    hist = registry.histogram("hammer_seconds", "t", buckets=(0.5, 1.0, 2.0))
+    barrier = threading.Barrier(THREADS)
+
+    def work(idx):
+        value = 0.25 if idx % 2 == 0 else 1.5
+        barrier.wait()
+        for _ in range(PER_THREAD):
+            hist.observe(value)
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    total = THREADS * PER_THREAD
+    assert hist.count == total
+    assert hist.sum == pytest.approx((0.25 + 1.5) * (total // 2))
+    cumulative = dict(hist.cumulative())
+    assert cumulative[0.5] == total // 2
+    assert cumulative[2.0] == total
+    assert cumulative[float("inf")] == total
+
+
+def test_counter_monotonic_under_concurrent_reads(registry):
+    """Readers polling mid-hammer must never see the value go backwards."""
+    counter = registry.counter("mono_total", "t")
+    stop = threading.Event()
+    violations = []
+
+    def read():
+        last = 0.0
+        while not stop.is_set():
+            now = counter.value
+            if now < last:
+                violations.append((last, now))
+            last = now
+
+    reader = threading.Thread(target=read)
+    reader.start()
+    threads = [
+        threading.Thread(target=lambda: [counter.inc() for _ in range(PER_THREAD)])
+        for _ in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stop.set()
+    reader.join()
+    assert not violations
+    assert counter.value == THREADS * PER_THREAD
+
+
+def test_counter_rejects_negative(registry):
+    counter = registry.counter("no_dec_total", "t")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+# ----------------------------------------------------------------------
+# histogram quantile math
+# ----------------------------------------------------------------------
+def test_quantile_interpolation(registry):
+    hist = registry.histogram("q_seconds", "t", buckets=(0.01, 0.1, 1.0, 10.0))
+    for _ in range(50):
+        hist.observe(0.005)
+    for _ in range(50):
+        hist.observe(5.0)
+    # p50 falls on the boundary of the first bucket
+    assert hist.quantile(0.5) == pytest.approx(0.01)
+    # p95: rank 95 of 100 sits 45/50ths into the (1.0, 10.0] bucket
+    assert hist.quantile(0.95) == pytest.approx(1.0 + 9.0 * 45 / 50)
+    summary = hist.summary()
+    assert summary["count"] == 100
+    assert summary["p50"] == pytest.approx(0.01)
+
+
+def test_quantile_from_buckets_inf_bucket_clamps():
+    cumulative = [(1.0, 0), (float("inf"), 10)]
+    # everything landed beyond the largest finite bound: report that bound
+    assert quantile_from_buckets(cumulative, 0.5) == 1.0
+
+
+def test_quantile_empty():
+    # no observations: there is no honest answer, so nan
+    assert math.isnan(quantile_from_buckets([(1.0, 0), (float("inf"), 0)], 0.5))
+
+
+# ----------------------------------------------------------------------
+# registry semantics
+# ----------------------------------------------------------------------
+def test_get_or_create_same_instrument(registry):
+    a = registry.counter("twice_total", "t")
+    b = registry.counter("twice_total", "other help ignored")
+    assert a is b
+
+
+def test_type_mismatch_raises(registry):
+    registry.counter("kind_total", "t")
+    with pytest.raises(ValueError):
+        registry.gauge("kind_total", "t")
+
+
+def test_label_mismatch_raises(registry):
+    registry.counter("lbl_total", "t", labelnames=("a",))
+    with pytest.raises(ValueError):
+        registry.counter("lbl_total", "t", labelnames=("b",))
+
+
+def test_gauge_set_inc_dec(registry):
+    gauge = registry.gauge("depth", "t")
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(3)
+    assert gauge.value == 12
+
+
+def test_snapshot_shapes(registry):
+    registry.counter("c_total", "t").inc(3)
+    registry.gauge("g", "t").set(7)
+    hist = registry.histogram("h_seconds", "t", buckets=(1.0,))
+    hist.observe(0.5)
+    snap = registry.snapshot()
+    assert snap["c_total"] == {"type": "counter", "values": {"": 3}}
+    assert snap["g"] == {"type": "gauge", "values": {"": 7}}
+    hist_values = snap["h_seconds"]["values"][""]
+    assert hist_values["count"] == 1
+    assert set(hist_values) >= {"count", "sum", "p50", "p95", "p99"}
+
+
+def test_disabled_updates_are_dropped(registry):
+    counter = registry.counter("frozen_total", "t")
+    counter.inc()
+    set_enabled(False)
+    try:
+        counter.inc(100)
+        registry.gauge("frozen_g", "t").set(5)
+    finally:
+        set_enabled(True)
+    assert counter.value == 1
+    assert registry.get("frozen_g").value == 0
+    counter.inc()
+    assert counter.value == 2
+
+
+# ----------------------------------------------------------------------
+# Prometheus text round trip
+# ----------------------------------------------------------------------
+def test_render_parse_round_trip(registry):
+    registry.counter("rt_total", "requests", labelnames=("endpoint", "status")).labels(
+        endpoint="/query", status="200"
+    ).inc(4)
+    registry.gauge("rt_depth", "queue depth").set(2)
+    hist = registry.histogram("rt_seconds", "latency", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+
+    text = registry.render()
+    families = parse_prometheus_text(text)
+
+    assert families["rt_total"]["type"] == "counter"
+    assert (
+        sample_value(families, "rt_total", {"endpoint": "/query", "status": "200"}) == 4
+    )
+    assert sample_value(families, "rt_depth") == 2
+    hist_fam = families["rt_seconds"]
+    assert hist_fam["type"] == "histogram"
+    assert sample_value(families, "rt_seconds_count") == 2
+    assert sample_value(families, "rt_seconds_bucket", {"le": "0.1"}) == 1
+    assert sample_value(families, "rt_seconds_bucket", {"le": "+Inf"}) == 2
+
+
+def test_label_escaping_round_trip(registry):
+    counter = registry.counter("esc_total", "t", labelnames=("path",))
+    counter.labels(path='a"b\\c\nd').inc()
+    families = parse_prometheus_text(registry.render())
+    (sample,) = families["esc_total"]["samples"]
+    assert sample[1]["path"] == 'a"b\\c\nd'
+    assert sample[2] == 1
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_prometheus_text("this is { not prometheus\n")
+
+
+def test_render_prometheus_histogram_shape(registry):
+    hist = registry.histogram("shape_seconds", "t", buckets=(1.0,))
+    hist.observe(0.5)
+    text = render_prometheus([hist])
+    assert "# TYPE shape_seconds histogram" in text
+    assert 'shape_seconds_bucket{le="+Inf"} 1' in text
+    assert "shape_seconds_count 1" in text
+
+
+def test_hammer_through_thread_pool(registry):
+    """Same exactness property through a ThreadPoolExecutor (the shape the
+    serving tier actually uses)."""
+    counter = registry.counter("pool_total", "t")
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        list(pool.map(lambda _: counter.inc(), range(THREADS * 500)))
+    assert counter.value == THREADS * 500
