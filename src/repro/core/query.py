@@ -40,8 +40,11 @@ __all__ = [
     "HopStats",
     "QueryResult",
     "theta_join",
+    "theta_join_batch",
     "execute_path",
+    "execute_path_batch",
     "merge_boxes",
+    "merge_boxes_batch",
     "THETA_JOIN_BLOCK_BUDGET_BYTES",
     "COUNT_GRID_CELL_LIMIT",
 ]
@@ -393,6 +396,47 @@ def _merge_axis_pass(boxes: np.ndarray, axis: int, ndim: int, span: int) -> np.n
     return merged
 
 
+def merge_boxes_batch(
+    lo: np.ndarray, hi: np.ndarray, qid: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-query :func:`merge_boxes` over a stacked batch of box sets.
+
+    ``qid`` assigns each box to its query; the output is ``(lo, hi, qid)``
+    with every query's segment merged **exactly** as :func:`merge_boxes`
+    would merge it alone, queries contiguous in ascending ``qid`` order.
+
+    The trick is one extra leading point axis: each box is augmented to
+    ``(qid, *coords)`` with the query id as a degenerate ``[qid, qid]``
+    interval, and the normal per-axis passes run over the *real* axes only.
+    The qid column rides along as the most significant sort key and as part
+    of every pass's group identity, so runs never span queries, the
+    within-query sort order is identical to the unaugmented pass, and no
+    per-query Python loop ever runs.  (The qid axis itself gets no merge
+    pass — boxes identical on every real axis within one query are plain
+    duplicates, which the first real-axis pass already collapses.)
+    """
+    n, ndim = lo.shape
+    if n == 0:
+        return lo, hi, qid
+    qid = np.asarray(qid, dtype=np.int64)
+    if n == 1:
+        return lo, hi, qid
+    aug_ndim = ndim + 1
+    boxes = np.empty((n, 2 * aug_ndim), dtype=np.int64)
+    boxes[:, 0] = qid
+    boxes[:, aug_ndim] = qid
+    boxes[:, 1:aug_ndim] = lo
+    boxes[:, aug_ndim + 1 :] = hi
+    span = int(boxes.max()) - int(boxes.min()) + 2
+    for axis in range(aug_ndim - 1, 0, -1):  # real axes only; axis 0 is qid
+        boxes = _merge_axis_pass(boxes, axis, aug_ndim, span)
+        if boxes.shape[0] <= 1:
+            break
+    # a single surviving row skipped the remaining passes, which would have
+    # left it sorted anyway; queries come out contiguous either way
+    return boxes[:, 1:aug_ndim], boxes[:, aug_ndim + 1 :], boxes[:, 0]
+
+
 # ----------------------------------------------------------------------
 # θ-join
 # ----------------------------------------------------------------------
@@ -710,3 +754,264 @@ def execute_path(
         if current.is_empty():
             break
     return QueryResult(cells=current, hops=hops)
+
+
+# ----------------------------------------------------------------------
+# batched execution: many queries, one kernel pass
+# ----------------------------------------------------------------------
+def _stack_box_sets(
+    queries: Sequence[CellBoxSet],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stack a batch of box sets over one array into ``(lo, hi, qid)``.
+
+    Queries are stacked in order, so a stable sort on ``qid`` downstream
+    reproduces each query's own box order — the invariant the bit-identity
+    of the batched kernels rests on.
+    """
+    first = queries[0]
+    for other in queries[1:]:
+        if other.array_name != first.array_name or other.shape != first.shape:
+            raise ValueError(
+                "all queries in a batch must target the same array: "
+                f"{first.array_name!r} vs {other.array_name!r}"
+            )
+    ndim = first.ndim
+    counts = [len(q) for q in queries]
+    total = sum(counts)
+    if total == 0:
+        empty = np.empty((0, ndim), np.int64)
+        return empty, empty.copy(), np.empty(0, np.int64)
+    lo = np.concatenate([q.lo for q in queries], axis=0)
+    hi = np.concatenate([q.hi for q in queries], axis=0)
+    qid = np.repeat(np.arange(len(queries), dtype=np.int64), counts)
+    return lo, hi, qid
+
+
+def _theta_join_batch_raw(
+    table: CompressedLineage,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    qid: np.ndarray,
+    stats: Optional[Dict[str, int]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One blocked θ-join pass over a whole *batch* of stacked query boxes.
+
+    Identical to the multi-box branch of :func:`theta_join` except that
+    every matched (box, row) pair carries its box's query id through the
+    join, so the output ``(lo, hi, qid)`` segments back into per-query
+    results afterwards.  The output is clipped to the value array's bounds
+    but **not** merged (merging is per-query, via
+    :func:`merge_boxes_batch`); within each query the raw row order is
+    exactly what the single-query join would produce.
+    """
+    n_rows = len(table)
+    n_boxes = lo.shape[0]
+    if stats is not None:
+        stats["join_blocks"] = 0
+    value_ndim = table.value_ndim
+    if n_rows == 0 or n_boxes == 0:
+        empty = np.empty((0, value_ndim), np.int64)
+        return empty, empty.copy(), np.empty(0, np.int64)
+
+    key_ndim = table.key_ndim
+    bytes_per_query_box = n_rows * (2 * key_ndim * 8 + 1)
+    block = max(1, THETA_JOIN_BLOCK_BUDGET_BYTES // max(bytes_per_query_box, 1))
+
+    key_lo = table.key_lo[None, :, :]
+    key_hi = table.key_hi[None, :, :]
+    out_lo_parts: List[np.ndarray] = []
+    out_hi_parts: List[np.ndarray] = []
+    out_qid_parts: List[np.ndarray] = []
+    split_parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    shared_mask = table.shared_ref_mask
+    for start in range(0, n_boxes, block):
+        stop = min(start + block, n_boxes)
+        if stats is not None:
+            stats["join_blocks"] += 1
+        inter_lo = np.maximum(key_lo, lo[start:stop, None, :])
+        inter_hi = np.minimum(key_hi, hi[start:stop, None, :])
+        matched = (inter_lo <= inter_hi).all(axis=2)
+        b_idx, row_idx = np.nonzero(matched)
+        pair_qid = qid[start + b_idx]
+        ilo = inter_lo[b_idx, row_idx]
+        ihi = inter_hi[b_idx, row_idx]
+        if shared_mask is not None and row_idx.size:
+            needs = (shared_mask[row_idx] & (ihi > ilo)).any(axis=1)
+            if needs.any():
+                split_parts.append(
+                    (row_idx[needs], ilo[needs], ihi[needs], pair_qid[needs])
+                )
+                keep = ~needs
+                row_idx, ilo, ihi, pair_qid = (
+                    row_idx[keep],
+                    ilo[keep],
+                    ihi[keep],
+                    pair_qid[keep],
+                )
+        res_lo, res_hi = _rel_back(table, row_idx, ilo, ihi)
+        out_lo_parts.append(res_lo)
+        out_hi_parts.append(res_hi)
+        out_qid_parts.append(pair_qid)
+    # shared-reference pairs expand after every exact block, mirroring the
+    # single-query kernel's ordering (exact pairs first, then expansions)
+    for row_idx, ilo, ihi, pair_qid in split_parts:
+        split_lo, split_hi = _expand_shared_refs(table, row_idx, ilo, ihi)
+        # per-pair expansion count = the Cartesian product of the shared
+        # attributes' intersection ranges, in the same pair order
+        spans = np.where(shared_mask[row_idx], ihi - ilo + 1, 1)
+        counts = spans.prod(axis=1)
+        out_lo_parts.append(split_lo)
+        out_hi_parts.append(split_hi)
+        out_qid_parts.append(np.repeat(pair_qid, counts))
+    if len(out_lo_parts) == 1:
+        res_lo, res_hi, res_qid = out_lo_parts[0], out_hi_parts[0], out_qid_parts[0]
+    else:
+        res_lo = np.concatenate(out_lo_parts, axis=0)
+        res_hi = np.concatenate(out_hi_parts, axis=0)
+        res_qid = np.concatenate(out_qid_parts, axis=0)
+
+    np.maximum(res_lo, 0, out=res_lo)
+    np.minimum(res_hi, table.value_bounds, out=res_hi)
+    keep = (res_lo <= res_hi).all(axis=1)
+    if not keep.all():
+        res_lo, res_hi, res_qid = res_lo[keep], res_hi[keep], res_qid[keep]
+    return res_lo, res_hi, res_qid
+
+
+def _segment_offsets(qid: np.ndarray, n_queries: int) -> np.ndarray:
+    """Start offsets of each query's contiguous segment in qid-sorted
+    arrays: ``offsets[q] : offsets[q + 1]`` slices query *q*'s rows."""
+    counts = np.bincount(qid, minlength=n_queries)
+    offsets = np.zeros(n_queries + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets
+
+
+def theta_join_batch(
+    queries: Sequence[CellBoxSet],
+    table: CompressedLineage,
+    merge: bool = True,
+    stats: Optional[Dict[str, int]] = None,
+) -> List[CellBoxSet]:
+    """θ-join a whole batch of queries against one table in a single
+    blocked pass.
+
+    Returns one result box set per query, bit-identical to calling
+    :func:`theta_join` on each query alone, but the Q×N×d interval
+    intersection runs once over the stacked batch: Q here is the *total*
+    box count of the batch, so 64 single-box queries cost one 64×N×d pass
+    instead of 64 separate 1×N×d passes (plus 64 rounds of numpy call
+    overhead).  Per-query segmentation is an offsets array over the
+    qid-sorted output — no Python-level loop touches the box data.
+    """
+    queries = list(queries)
+    if not queries:
+        return []
+    for query in queries:
+        if table.key_name != query.array_name:
+            raise ValueError(
+                f"table is keyed on array {table.key_name!r} but the query "
+                f"targets {query.array_name!r}"
+            )
+        if table.key_ndim != query.ndim:
+            raise ValueError("query dimensionality does not match the table's key arity")
+    lo, hi, qid = _stack_box_sets(queries)
+    out_lo, out_hi, out_qid = _theta_join_batch_raw(table, lo, hi, qid, stats=stats)
+    if merge:
+        out_lo, out_hi, out_qid = merge_boxes_batch(out_lo, out_hi, out_qid)
+    else:
+        order = np.argsort(out_qid, kind="stable")
+        out_lo, out_hi, out_qid = out_lo[order], out_hi[order], out_qid[order]
+    offsets = _segment_offsets(out_qid, len(queries))
+    return [
+        CellBoxSet._wrap(
+            table.value_name,
+            table.value_shape,
+            out_lo[offsets[q] : offsets[q + 1]],
+            out_hi[offsets[q] : offsets[q + 1]],
+        )
+        for q in range(len(queries))
+    ]
+
+
+def execute_path_batch(
+    tables: Sequence[CompressedLineage],
+    queries: Sequence[CellBoxSet],
+    merge: bool = True,
+) -> List[QueryResult]:
+    """Run a batch of queries down one hop-table chain, one blocked kernel
+    pass per hop.
+
+    The semantics (results, per-query hop lists, early exit of a query
+    whose intermediate result empties) are exactly ``[execute_path(tables,
+    q, merge) for q in queries]`` — the loop oracle in
+    :mod:`repro.core._reference` pins this — but the whole batch shares
+    each hop's θ-join pass and segmented per-query merge, so the per-query
+    cost of planning, numpy dispatch and small-array overhead is amortized
+    across the batch.
+    """
+    queries = list(queries)
+    n_queries = len(queries)
+    if n_queries == 0:
+        return []
+    if not tables:
+        return [QueryResult(cells=query, hops=[]) for query in queries]
+    lo, hi, qid = _stack_box_sets(queries)
+    hops: List[List[HopStats]] = [[] for _ in range(n_queries)]
+    # `alive[q]` = query q participates in the next hop: a query whose
+    # intermediate result empties records the hop that emptied it and then
+    # drops out, matching execute_path's early break
+    alive = np.ones(n_queries, dtype=bool)
+    final: List[Optional[CellBoxSet]] = [None] * n_queries
+    join_stats: Dict[str, int] = {}
+    for table in tables:
+        start = time.perf_counter()
+        boxes_in = np.bincount(qid, minlength=n_queries)
+        out_lo, out_hi, out_qid = _theta_join_batch_raw(
+            table, lo, hi, qid, stats=join_stats
+        )
+        order = np.argsort(out_qid, kind="stable")
+        out_lo, out_hi, out_qid = out_lo[order], out_hi[order], out_qid[order]
+        raw_counts = np.bincount(out_qid, minlength=n_queries)
+        if merge:
+            out_lo, out_hi, out_qid = merge_boxes_batch(out_lo, out_hi, out_qid)
+            merged_counts = np.bincount(out_qid, minlength=n_queries)
+        else:
+            merged_counts = raw_counts
+        elapsed = time.perf_counter() - start
+        offsets = _segment_offsets(out_qid, n_queries)
+        blocks = join_stats.get("join_blocks", 0)
+        for q in np.flatnonzero(alive):
+            hops[q].append(
+                HopStats(
+                    array_from=table.key_name,
+                    array_to=table.value_name,
+                    rows_scanned=len(table),
+                    boxes_in=int(boxes_in[q]),
+                    boxes_out_raw=int(raw_counts[q]),
+                    boxes_out_merged=int(merged_counts[q]),
+                    seconds=elapsed,
+                    join_blocks=blocks,
+                )
+            )
+            if merged_counts[q] == 0:
+                alive[q] = False
+                final[q] = CellBoxSet._wrap(
+                    table.value_name,
+                    table.value_shape,
+                    out_lo[offsets[q] : offsets[q + 1]],
+                    out_hi[offsets[q] : offsets[q + 1]],
+                )
+        lo, hi, qid = out_lo, out_hi, out_qid
+        if not alive.any():
+            break
+    offsets = _segment_offsets(qid, n_queries)
+    last = tables[-1]
+    for q in np.flatnonzero(alive):
+        final[q] = CellBoxSet._wrap(
+            last.value_name,
+            last.value_shape,
+            lo[offsets[q] : offsets[q + 1]],
+            hi[offsets[q] : offsets[q + 1]],
+        )
+    return [QueryResult(cells=final[q], hops=hops[q]) for q in range(n_queries)]

@@ -862,14 +862,18 @@ class DSLog:
         host: str = "127.0.0.1",
         max_workers: Optional[int] = None,
         cache_entries: Optional[int] = None,
+        coalesce_ms: Optional[float] = None,
         start: bool = True,
     ) -> "LineageServer":
         """Expose this catalog over the HTTP JSON API
         (:mod:`repro.service.server`) on a background thread.
 
         ``port=0`` picks a free port; read it (or the full URL) off the
-        returned server.  Pass ``start=False`` to get an unstarted server
-        for ``serve_forever()`` on a dedicated process's main thread.
+        returned server.  ``coalesce_ms`` opts into ``/query`` request
+        coalescing (``None`` defers to the ``DSLOG_COALESCE_MS``
+        environment variable).  Pass ``start=False`` to get an unstarted
+        server for ``serve_forever()`` on a dedicated process's main
+        thread.
         """
         from .service.query import DEFAULT_CACHE_ENTRIES
         from .service.server import LineageServer
@@ -880,6 +884,7 @@ class DSLog:
             port=port,
             max_workers=max_workers,
             cache_entries=DEFAULT_CACHE_ENTRIES if cache_entries is None else cache_entries,
+            coalesce_ms=coalesce_ms,
         )
         return server.start() if start else server
 

@@ -78,9 +78,9 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
-from ..core.query import QueryResult, execute_path
+from ..core.query import QueryResult, execute_path, execute_path_batch
 from ..faults import CircuitBreaker, DeadlineExceeded, ShardUnavailable
-from ..obs import REGISTRY, tracing
+from ..obs import DEFAULT_SIZE_BUCKETS, REGISTRY, tracing
 from ..storage.segments import CorruptRecordError
 
 __all__ = [
@@ -116,6 +116,11 @@ _PREFETCH_SECONDS = REGISTRY.histogram(
     "dslog_prefetch_seconds",
     "Per-shard hop-table hydration latency during query fan-out",
     labelnames=("shard",),
+)
+_BATCH_SIZE = REGISTRY.histogram(
+    "dslog_query_batch_size",
+    "Queries per executor batch (query_batch calls, coalesced or explicit)",
+    buckets=DEFAULT_SIZE_BUCKETS,
 )
 
 
@@ -295,6 +300,8 @@ class QueryExecutor:
         self.degraded_serves = 0
         self.deadline_misses = 0
         self.shard_reopens = 0
+        self.batches = 0
+        self.batched_queries = 0
 
     # ------------------------------------------------------------------
     # circuit breakers
@@ -471,6 +478,211 @@ class QueryExecutor:
             for path, cells in requests
         ]
         return [future.result()[0] for future in futures]
+
+    # ------------------------------------------------------------------
+    # batched execution
+    # ------------------------------------------------------------------
+    def query_batch(
+        self,
+        requests: Sequence[Tuple[Sequence[str], Any]],
+        merge: bool = True,
+        deadline: Optional[float] = None,
+    ) -> List[Any]:
+        """Run a batch of ``(path, query_cells)`` requests through shared
+        kernel passes; returns one entry per request, in order — a
+        :class:`QueryOutcome` on success, or the exception that request
+        alone raised (unknown array, planning failure, unavailable shard
+        with nothing cached).  One bad request never fails the batch.
+
+        The batch pipeline amortizes everything the per-request path pays
+        per query: the dependency-version read and snapshot pin happen
+        once, cache hits peel off before any kernel work, the remaining
+        misses are grouped by resolved hop path, each path group's tables
+        are prefetched once, and each group executes as a *single* blocked
+        θ-join pass per hop (:func:`~repro.core.query.execute_path_batch`)
+        with per-query result segmentation — results are bit-identical to
+        running the requests one at a time.  Fresh results are installed in
+        the result cache per query, exactly as single execution would.
+        """
+        self._check_open()
+        requests = list(requests)
+        if not requests:
+            return []
+        _BATCH_SIZE.observe(len(requests))
+        with self._stats_lock:
+            self.batches += 1
+            self.batched_queries += len(requests)
+        trace = tracing.current_trace()
+        if trace is not None:
+            trace.set_tag("batch_size", len(requests))
+        if deadline is None:
+            deadline = self.default_deadline
+        deadline_at = time.monotonic() + deadline if deadline is not None else None
+
+        outcomes: List[Any] = [None] * len(requests)
+        live = self._live_versions()
+        # phase 1: validate, digest and peel cache hits off the batch
+        pending: List[Tuple[int, List[str], Any, bytes]] = []
+        for i, request in enumerate(requests):
+            try:
+                path, query_cells = request
+                path = list(path)
+                if len(path) < 2:
+                    raise ValueError("a query path needs at least two arrays")
+                for name in path:
+                    self.log.catalog.array(name)  # KeyError for unknown arrays
+                box_set = self.log._as_box_set(path[0], query_cells)
+                key = self._query_digest(path, box_set, merge)
+            except Exception as error:  # noqa: BLE001 - per-item containment
+                outcomes[i] = error
+                continue
+            hit, value = self.cache.lookup(key, live)
+            if hit:
+                outcomes[i] = QueryOutcome(value, True, False)
+            else:
+                pending.append((i, path, box_set, key))
+        if trace is not None:
+            trace.set_tag("batch_misses", len(pending))
+        if not pending:
+            return outcomes
+
+        _QUERIES.inc(len(pending))
+        with self._stats_lock:
+            self.queries += len(pending)
+
+        # phase 2: group the misses by resolved hop path(s)
+        groups: Dict[Any, Tuple[List[List[str]], bool, List[Tuple[int, Any, bytes]]]] = {}
+        for i, path, box_set, key in pending:
+            try:
+                paths, direct = self._plan(path)
+            except Exception as error:  # noqa: BLE001 - per-item containment
+                outcomes[i] = error
+                continue
+            group_key = (tuple(tuple(p) for p in paths), direct)
+            group = groups.get(group_key)
+            if group is None:
+                group = (paths, direct, [])
+                groups[group_key] = group
+            group[2].append((i, box_set, key))
+
+        # phase 3: one snapshot pin, one prefetch, one kernel pass per group
+        pin = self._pin_stores()
+        try:
+            all_paths = [p for paths, _, _ in groups.values() for p in paths]
+            try:
+                with tracing.span("batch-prefetch", groups=len(groups)):
+                    self._prefetch_tables(all_paths, deadline_at=deadline_at)
+            except (DeadlineExceeded, OSError, CorruptRecordError) as error:
+                self._fail_groups(groups, outcomes, error)
+                return outcomes
+            for paths, direct, items in groups.values():
+                self._execute_group(
+                    paths, direct, items, merge, live, deadline_at, outcomes
+                )
+        finally:
+            if pin is not None:
+                pin()
+        return outcomes
+
+    def prov_query_batch(
+        self, requests: Sequence[Tuple[Sequence[str], Any]], merge: bool = True
+    ) -> List[QueryResult]:
+        """:meth:`query_batch` without the outcome flags: one
+        :class:`~repro.core.query.QueryResult` per request, in order.
+        Unlike the containment semantics of :meth:`query_batch`, a failed
+        request raises (the first failure, after the batch ran)."""
+        outcomes = self.query_batch(requests, merge=merge)
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return [outcome.result for outcome in outcomes]
+
+    def _execute_group(
+        self,
+        paths: List[List[str]],
+        direct: bool,
+        items: List[Tuple[int, Any, bytes]],
+        merge: bool,
+        live: Dict[int, int],
+        deadline_at: Optional[float],
+        outcomes: List[Any],
+    ) -> None:
+        """Execute one path group of a batch: breaker-gate its home shards,
+        run the batched θ-join chain(s), install per-query cache entries.
+        Failures degrade each of the group's queries individually."""
+        try:
+            shards = self._home_shards(paths)
+        except Exception as error:  # noqa: BLE001 - per-item containment
+            for i, _box_set, key in items:
+                outcomes[i] = error
+            return
+        blocked = {s for s in shards if not self._breaker_allows(s)}
+        if blocked:
+            for i, _box_set, key in items:
+                outcomes[i] = self._degrade_item(key, blocked)
+            return
+        deps = self._path_deps(live, paths[0]) if direct else self._full_deps(live)
+        box_sets = [box_set for _, box_set, _ in items]
+        try:
+            self._remaining(deadline_at, None)  # refuse doomed kernel work
+            with tracing.span(
+                "batch-join", paths=len(paths), queries=len(items)
+            ):
+                per_path = [
+                    execute_path_batch(self._resolve_tables(p), box_sets, merge=merge)
+                    for p in paths
+                ]
+                if len(per_path) == 1:
+                    results = per_path[0]
+                else:
+                    results = [
+                        QueryResult.union([r[j] for r in per_path], merge=merge)
+                        for j in range(len(items))
+                    ]
+        except DeadlineExceeded as exc:
+            _DEADLINE_MISSES.inc()
+            with self._stats_lock:
+                self.deadline_misses += 1
+            shard = exc.shard if exc.shard is not None else self._fault_shard(exc, shards)
+            self._breaker(shard).record_failure()
+            for i, _box_set, key in items:
+                outcomes[i] = self._degrade_item(key, {shard}, cause=exc)
+            return
+        except (OSError, CorruptRecordError) as exc:
+            shard = self._fault_shard(exc, shards)
+            self._breaker(shard).record_failure()
+            for i, _box_set, key in items:
+                outcomes[i] = self._degrade_item(key, {shard}, cause=exc)
+            return
+        for shard in shards:
+            breaker = self._breakers.get(shard)
+            if breaker is not None:
+                breaker.record_success()
+        for (i, _box_set, key), result in zip(items, results):
+            self.cache.store(key, deps, result)
+            outcomes[i] = QueryOutcome(result, False, False)
+
+    def _fail_groups(self, groups, outcomes: List[Any], error: BaseException) -> None:
+        """A batch-wide prefetch failure: degrade every grouped query
+        individually against the faulted shard."""
+        shard = self._fault_shard(error, set())
+        self._breaker(shard).record_failure()
+        if isinstance(error, DeadlineExceeded):
+            _DEADLINE_MISSES.inc()
+            with self._stats_lock:
+                self.deadline_misses += 1
+        for _paths, _direct, items in groups.values():
+            for i, _box_set, key in items:
+                outcomes[i] = self._degrade_item(key, {shard}, cause=error)
+
+    def _degrade_item(self, key: bytes, blocked: Set[int], cause=None):
+        """Per-item :meth:`_degrade`: returns the degraded
+        :class:`QueryOutcome`, or the exception (instead of raising) so a
+        batch can carry per-item failures."""
+        try:
+            return self._degrade(key, blocked, cause=cause)
+        except BaseException as error:  # noqa: BLE001 - per-item containment
+            return error
 
     def _query(
         self,
@@ -786,6 +998,8 @@ class QueryExecutor:
                 "degraded_serves": self.degraded_serves,
                 "deadline_misses": self.deadline_misses,
                 "shard_reopens": self.shard_reopens,
+                "batches": self.batches,
+                "batched_queries": self.batched_queries,
                 "cache": self.cache.stats(),
                 "breakers": self.breaker_stats(),
             }

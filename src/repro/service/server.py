@@ -15,6 +15,11 @@ JSON API
                                (+ optional ``"merge"``, ``"include_boxes"``,
                                ``"include_cells"``) → result boxes, exact cell
                                count, per-hop stats, ``"cached"`` flag
+``/query_batch``         POST  ``{"queries": [<query body>, ...]}`` → one
+                               ``results`` entry per query (a result payload or
+                               a per-item ``{"error": ...}``); the server runs
+                               each resolved path's queries as a single batched
+                               θ-join pass
 ``/graph/impact``        GET   ``?array=NAME`` → downstream closure with hop counts
 ``/graph/dependencies``  GET   ``?array=NAME`` → upstream closure with hop counts
 ``/graph/summary``       GET   whole-catalog summary (roots, leaves, fan-in/out…)
@@ -52,6 +57,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import random
 import socket
 import threading
@@ -60,12 +66,12 @@ import urllib.error
 import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..faults import DeadlineExceeded, IngestOverloaded, ShardUnavailable
-from ..obs import REGISTRY, log_event, tracing
+from ..obs import DEFAULT_SIZE_BUCKETS, REGISTRY, log_event, tracing
 from ..storage.catalog import AmbiguousLineageError
-from .query import DEFAULT_CACHE_ENTRIES, QueryExecutor
+from .query import DEFAULT_CACHE_ENTRIES, QueryExecutor, QueryOutcome
 
 _HTTP_REQUESTS = REGISTRY.counter(
     "dslog_http_requests_total",
@@ -77,11 +83,23 @@ _HTTP_SECONDS = REGISTRY.histogram(
     "Wall time per HTTP request, by endpoint",
     labelnames=("endpoint",),
 )
+_COALESCED_BATCH = REGISTRY.histogram(
+    "dslog_coalesced_batch_size",
+    "Single /query requests grouped into one executor batch per flush",
+    buckets=DEFAULT_SIZE_BUCKETS,
+)
+_COALESCE_FLUSHES = REGISTRY.counter(
+    "dslog_coalesce_flushes_total",
+    "Coalescer flushes, by trigger (idle = lone request on an idle queue, "
+    "window = the coalescing tick expired)",
+    labelnames=("reason",),
+)
 
 # endpoints that open a per-request trace (the observability surfaces
 # themselves — /metrics, /debug/traces, /healthz — would only self-spam)
 _TRACED_ENDPOINTS = {
     "/query",
+    "/query_batch",
     "/graph/impact",
     "/graph/dependencies",
     "/graph/summary",
@@ -93,6 +111,7 @@ __all__ = [
     "LineageClient",
     "LineageServerError",
     "LineageConnectionError",
+    "QueryCoalescer",
     "result_payload",
 ]
 
@@ -304,31 +323,10 @@ class _Handler(BaseHTTPRequestHandler):
                     status, payload = handler(self.lineage, self, parsed)
             else:
                 status, payload = handler(self.lineage, self, parsed)
-        except _BadJson as error:
-            self._send_error_payload(400, "bad-json", f"malformed JSON body: {error}")
-            return 400
-        except (ValueError, AmbiguousLineageError) as error:
-            self._send_error_payload(400, "bad-request", str(error))
-            return 400
-        except KeyError as error:
-            self._send_error_payload(404, "not-found", str(error.args[0] if error.args else error))
-            return 404
-        except DeadlineExceeded as error:
-            # before OSError: TimeoutError is an OSError subclass on 3.10+
-            self._send_error_payload(504, "deadline-exceeded", str(error))
-            return 504
-        except ShardUnavailable as error:
-            self._send_error_payload(503, "shard-unavailable", str(error))
-            return 503
-        except IngestOverloaded as error:
-            self._send_error_payload(503, "overloaded", str(error))
-            return 503
-        except OSError as error:
-            self._send_error_payload(503, "io-error", f"{type(error).__name__}: {error}")
-            return 503
         except Exception as error:  # noqa: BLE001 - must never hang the socket
-            self._send_error_payload(500, "internal", f"{type(error).__name__}: {error}")
-            return 500
+            status, kind, message = _error_info(error)
+            self._send_error_payload(status, kind, message)
+            return status
         if isinstance(payload, tuple):
             content_type, text = payload
             self._send_text(status, text, content_type)
@@ -347,11 +345,36 @@ class _BadJson(ValueError):
     """Body was present but not valid JSON (distinct 400 type)."""
 
 
+def _error_info(error: BaseException) -> Tuple[int, str, str]:
+    """Map an exception to its structured ``(status, type, message)``
+    triple — the one taxonomy behind whole-request errors and the
+    per-item errors of ``/query_batch``."""
+    if isinstance(error, _BadJson):
+        return 400, "bad-json", f"malformed JSON body: {error}"
+    if isinstance(error, (ValueError, AmbiguousLineageError)):
+        return 400, "bad-request", str(error)
+    if isinstance(error, KeyError):
+        return 404, "not-found", str(error.args[0] if error.args else error)
+    if isinstance(error, DeadlineExceeded):
+        # before OSError: TimeoutError is an OSError subclass on 3.10+
+        return 504, "deadline-exceeded", str(error)
+    if isinstance(error, ShardUnavailable):
+        return 503, "shard-unavailable", str(error)
+    if isinstance(error, IngestOverloaded):
+        return 503, "overloaded", str(error)
+    if isinstance(error, OSError):
+        return 503, "io-error", f"{type(error).__name__}: {error}"
+    return 500, "internal", f"{type(error).__name__}: {error}"
+
+
 def _route_query(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
     body = handler._read_body()
     path, query, merge, include_boxes, include_cells, deadline = _parse_query_request(body)
     start = time.monotonic()
-    outcome = server.executor.query(path, query, merge=merge, deadline=deadline)
+    if server.coalescer is not None:
+        outcome = server.coalescer.submit(path, query, merge=merge, deadline=deadline)
+    else:
+        outcome = server.executor.query(path, query, merge=merge, deadline=deadline)
     payload = result_payload(
         outcome.result, include_boxes=include_boxes, include_cells=include_cells
     )
@@ -359,6 +382,69 @@ def _route_query(server: "LineageServer", handler: _Handler, parsed) -> Tuple[in
     payload["degraded"] = outcome.degraded
     payload["elapsed_ms"] = (time.monotonic() - start) * 1000.0
     return 200, payload
+
+
+def _route_query_batch(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
+    body = handler._read_body()
+    items = body.get("queries")
+    if not isinstance(items, list) or not items:
+        raise ValueError("'queries' must be a non-empty list of query objects")
+    deadline = body.get("deadline")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or deadline <= 0:
+            raise ValueError("'deadline' must be a positive number of seconds")
+        deadline = float(deadline)
+    # parse each item independently: one malformed entry becomes a
+    # structured per-item error, never a whole-batch 400
+    specs: List[Any] = []
+    for item in items:
+        try:
+            if not isinstance(item, dict):
+                raise ValueError("each 'queries' entry must be a JSON object")
+            specs.append(_parse_query_request(item))
+        except ValueError as error:
+            specs.append(error)
+    results: List[Any] = [None] * len(items)
+    start = time.monotonic()
+    # one executor batch per merge flavor (batches share a merge flag);
+    # almost all real batches are homogeneous, so this is one call
+    for merge_value in (True, False):
+        idxs = [
+            i
+            for i, spec in enumerate(specs)
+            if not isinstance(spec, BaseException) and spec[2] is merge_value
+        ]
+        if not idxs:
+            continue
+        outcomes = server.executor.query_batch(
+            [(specs[i][0], specs[i][1]) for i in idxs],
+            merge=merge_value,
+            deadline=deadline,
+        )
+        for i, outcome in zip(idxs, outcomes):
+            results[i] = outcome
+    elapsed_ms = (time.monotonic() - start) * 1000.0
+    payload_results = []
+    for spec, outcome in zip(specs, results):
+        if isinstance(spec, BaseException):
+            outcome = spec
+        if isinstance(outcome, BaseException):
+            status, kind, message = _error_info(outcome)
+            payload_results.append(
+                {"error": {"type": kind, "message": message, "status": status}}
+            )
+            continue
+        entry = result_payload(
+            outcome.result, include_boxes=spec[3], include_cells=spec[4]
+        )
+        entry["cached"] = outcome.cached
+        entry["degraded"] = outcome.degraded
+        payload_results.append(entry)
+    return 200, {
+        "results": payload_results,
+        "batch_size": len(items),
+        "elapsed_ms": elapsed_ms,
+    }
 
 
 def _array_param(parsed) -> str:
@@ -403,6 +489,7 @@ def _route_healthz(server: "LineageServer", handler: _Handler, parsed) -> Tuple[
         "generations": generations,
         "breakers": {str(shard): stats for shard, stats in breakers.items()},
         "executor": server.executor.stats(),
+        "coalescer": server.coalescer.stats() if server.coalescer is not None else None,
         "storage": _storage_stats(store),
         "metrics": REGISTRY.snapshot(),
     }
@@ -455,6 +542,7 @@ def _route_scrub(server: "LineageServer", handler: _Handler, parsed) -> Tuple[in
 
 _ROUTES = {
     ("POST", "/query"): _route_query,
+    ("POST", "/query_batch"): _route_query_batch,
     ("GET", "/graph/impact"): _route_impact,
     ("GET", "/graph/dependencies"): _route_dependencies,
     ("GET", "/graph/summary"): _route_summary,
@@ -463,6 +551,140 @@ _ROUTES = {
     ("GET", "/debug/traces"): _route_traces,
     ("POST", "/admin/scrub"): _route_scrub,
 }
+
+
+class _PendingQuery:
+    """One ``/query`` request parked in the coalescer, waiting for a flush."""
+
+    __slots__ = ("path", "query", "merge", "deadline", "arrival", "event", "outcome", "error")
+
+    def __init__(self, path, query, merge: bool, deadline: Optional[float]) -> None:
+        self.path = path
+        self.query = query
+        self.merge = merge
+        self.deadline = deadline
+        self.arrival = time.monotonic()
+        self.event = threading.Event()
+        self.outcome: Optional[QueryOutcome] = None
+        self.error: Optional[BaseException] = None
+
+
+class QueryCoalescer:
+    """Group single ``/query`` requests arriving within a window into one
+    executor batch — the read-path mirror of the ingest committer's group
+    commit.
+
+    A background flusher owns the pending queue.  The flush rule keeps
+    single-threaded clients deadlock- and latency-free: woken with exactly
+    one pending request and nothing else inbound, the flusher flushes it
+    *immediately* (counted as reason ``idle``); with two or more pending it
+    waits out the coalescing tick from the *earliest* arrival, letting more
+    requests pile on, then flushes them as one batch (reason ``window``).
+    Requests arriving while a batch executes accumulate for the next flush,
+    so batches form under sustained load without ever parking a lone caller.
+    """
+
+    def __init__(self, executor: QueryExecutor, window_ms: float) -> None:
+        self.executor = executor
+        self.window = max(0.0, float(window_ms)) / 1000.0
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: List[_PendingQuery] = []
+        self._closed = False
+        self.flushes = {"idle": 0, "window": 0}
+        self.queries = 0
+        self.largest_batch = 0
+        self._thread = threading.Thread(
+            target=self._run, name="query-coalescer", daemon=True
+        )
+        self._thread.start()
+
+    def submit(
+        self,
+        path,
+        query,
+        merge: bool = True,
+        deadline: Optional[float] = None,
+    ) -> QueryOutcome:
+        """Park the query until the next flush; returns its outcome (or
+        re-raises its per-item error) once the batch it joined executes."""
+        item = _PendingQuery(path, query, merge, deadline)
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("the query coalescer is closed")
+            self._pending.append(item)
+            self._wakeup.notify()
+        item.event.wait()
+        if item.error is not None:
+            raise item.error
+        assert item.outcome is not None
+        return item.outcome
+
+    def _run(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._pending and not self._closed:
+                    self._wakeup.wait()
+                if not self._pending:
+                    return  # closed and drained
+                if len(self._pending) > 1 and not self._closed:
+                    # several waiters: let the tick fill the batch
+                    expires = self._pending[0].arrival + self.window
+                    while not self._closed:
+                        remaining = expires - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._wakeup.wait(timeout=remaining)
+                batch, self._pending = self._pending, []
+            self._flush(batch)
+
+    def _flush(self, batch: List[_PendingQuery]) -> None:
+        reason = "idle" if len(batch) == 1 else "window"
+        self.flushes[reason] += 1
+        self.queries += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+        _COALESCE_FLUSHES.labels(reason=reason).inc()
+        _COALESCED_BATCH.observe(len(batch))
+        # executor batches share one merge flag and one deadline; flush
+        # each distinct combination as its own sub-batch
+        groups: Dict[Tuple[bool, Optional[float]], List[_PendingQuery]] = {}
+        for item in batch:
+            groups.setdefault((item.merge, item.deadline), []).append(item)
+        for (merge, deadline), items in groups.items():
+            try:
+                outcomes = self.executor.query_batch(
+                    [(item.path, item.query) for item in items],
+                    merge=merge,
+                    deadline=deadline,
+                )
+            except BaseException as error:  # noqa: BLE001 - waiters must wake
+                outcomes = [error] * len(items)
+            for item, outcome in zip(items, outcomes):
+                if isinstance(outcome, BaseException):
+                    item.error = outcome
+                else:
+                    item.outcome = outcome
+                item.event.set()
+
+    def stats(self) -> dict:
+        with self._lock:
+            pending = len(self._pending)
+        return {
+            "window_ms": self.window * 1000.0,
+            "pending": pending,
+            "flushes": dict(self.flushes),
+            "queries": self.queries,
+            "largest_batch": self.largest_batch,
+        }
+
+    def close(self) -> None:
+        """Stop the flusher; pending requests are flushed before it exits."""
+        with self._wakeup:
+            if self._closed:
+                return
+            self._closed = True
+            self._wakeup.notify_all()
+        self._thread.join(timeout=5)
 
 
 class LineageServer:
@@ -481,6 +703,12 @@ class LineageServer:
         owns one (and closes it on :meth:`close`).
     max_workers / cache_entries:
         Forwarded to the owned executor.
+    coalesce_ms:
+        Opt-in request coalescing: single ``/query`` requests arriving
+        within this window are grouped into one executor batch
+        (:class:`QueryCoalescer`).  ``None`` reads the
+        ``DSLOG_COALESCE_MS`` environment variable; ``0`` (the default
+        when the variable is unset) disables coalescing.
     """
 
     def __init__(
@@ -491,11 +719,26 @@ class LineageServer:
         executor: Optional[QueryExecutor] = None,
         max_workers: Optional[int] = None,
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        coalesce_ms: Optional[float] = None,
     ) -> None:
         self.log = log
         self._owns_executor = executor is None
         self.executor = executor or QueryExecutor(
             log, max_workers=max_workers, cache_entries=cache_entries
+        )
+        if coalesce_ms is None:
+            raw = os.environ.get("DSLOG_COALESCE_MS", "").strip()
+            if raw:
+                try:
+                    coalesce_ms = float(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"DSLOG_COALESCE_MS must be a number of milliseconds, got {raw!r}"
+                    ) from None
+        self.coalescer: Optional[QueryCoalescer] = (
+            QueryCoalescer(self.executor, coalesce_ms)
+            if coalesce_ms is not None and coalesce_ms > 0
+            else None
         )
         handler = type("LineageHandler", (_Handler,), {"lineage": self})
         self._httpd = ThreadingHTTPServer((host, port), handler)
@@ -534,6 +777,8 @@ class LineageServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        if self.coalescer is not None:
+            self.coalescer.close()
         if self._owns_executor:
             self.executor.close()
 
@@ -686,6 +931,46 @@ class LineageClient:
         if deadline is not None:
             body["deadline"] = deadline
         return self._request("POST", "/query", body)
+
+    def prov_query_batch(
+        self,
+        queries: Sequence[Any],
+        merge: bool = True,
+        include_boxes: bool = True,
+        include_cells: bool = False,
+        deadline: Optional[float] = None,
+    ) -> List[dict]:
+        """Run many lineage queries in one ``POST /query_batch`` round trip
+        — the server executes them as one θ-join pass per resolved path.
+
+        Each entry of *queries* is either a full request dict (the same
+        shape :meth:`prov_query` builds: ``path`` plus ``cells`` or
+        ``slices``, optionally overriding ``merge`` etc.) or a shorthand
+        ``(path, cells)`` pair.  Returns one entry per query, in order:
+        a result payload, or ``{"error": {...}}`` for queries that failed
+        individually (a bad query never fails its batch-mates).
+        """
+        body_queries: List[dict] = []
+        for item in queries:
+            if isinstance(item, dict):
+                entry = dict(item)
+            else:
+                path, cells = item
+                entry = {
+                    "path": list(path),
+                    "cells": [
+                        list(cell) if isinstance(cell, (list, tuple)) else cell
+                        for cell in cells
+                    ],
+                }
+            entry.setdefault("merge", merge)
+            entry.setdefault("include_boxes", include_boxes)
+            entry.setdefault("include_cells", include_cells)
+            body_queries.append(entry)
+        body: Dict[str, Any] = {"queries": body_queries}
+        if deadline is not None:
+            body["deadline"] = deadline
+        return self._request("POST", "/query_batch", body)["results"]
 
     def impact(self, name: str) -> Dict[str, int]:
         payload = self._request(

@@ -12,8 +12,11 @@ import numpy as np
 import pytest
 
 from repro.core._reference import (
+    execute_path_batch_reference,
     key_range_pass_reference,
+    merge_boxes_batch_reference,
     merge_boxes_reference,
+    theta_join_batch_reference,
     theta_join_reference,
 )
 from repro.core.compressed import KIND_REL
@@ -21,8 +24,11 @@ from repro.core.provrc import _key_range_pass, _value_range_pass, compress
 from repro.core.query import (
     THETA_JOIN_BLOCK_BUDGET_BYTES,
     CellBoxSet,
+    execute_path_batch,
     merge_boxes,
+    merge_boxes_batch,
     theta_join,
+    theta_join_batch,
 )
 from repro.core.relation import LineageRelation
 
@@ -360,3 +366,184 @@ class TestFromCells:
     def test_wrong_arity_raises(self):
         with pytest.raises(ValueError):
             CellBoxSet.from_cells("A", (4, 4), [(1, 2, 3)])
+
+
+# ----------------------------------------------------------------------
+# batched kernels vs the loop-over-queries oracles
+# ----------------------------------------------------------------------
+def random_chain(rng, max_hops=3, max_dim=6, max_rows=50):
+    """A chain of compressed hop tables n0 -> n1 -> ... plus n0's shape."""
+    hops = int(rng.integers(1, max_hops + 1))
+    ndims = [int(rng.integers(1, 3)) for _ in range(hops + 1)]
+    shapes = [
+        tuple(int(rng.integers(1, max_dim)) for _ in range(nd)) for nd in ndims
+    ]
+    tables = []
+    for k in range(hops):
+        n = int(rng.integers(0, max_rows))
+        pairs = []
+        for _ in range(n):
+            out_cell = tuple(int(rng.integers(0, d)) for d in shapes[k])
+            in_cell = tuple(int(rng.integers(0, d)) for d in shapes[k + 1])
+            pairs.append((out_cell, in_cell))
+        relation = LineageRelation.from_pairs(
+            pairs, shapes[k], shapes[k + 1], out_name=f"n{k}", in_name=f"n{k + 1}"
+        )
+        tables.append(compress(relation, key="output"))
+    return tables, shapes[0]
+
+
+def random_query_batch(rng, name, shape, max_queries=8, max_boxes=4):
+    n_queries = int(rng.integers(0, max_queries + 1))
+    queries = []
+    for _ in range(n_queries):
+        n_boxes = int(rng.integers(0, max_boxes + 1))
+        lo, hi = random_boxes(rng, len(shape), n_boxes, coord_range=max(shape), max_extent=2)
+        queries.append(CellBoxSet(name, shape, lo, hi))
+    return queries
+
+
+def assert_hops_identical(got_hops, want_hops):
+    """Hop lists match field-for-field, excluding wall time (``seconds``)
+    and ``join_blocks`` (the batch shares one blocked pass per hop)."""
+    assert len(got_hops) == len(want_hops)
+    for got, want in zip(got_hops, want_hops):
+        assert got.array_from == want.array_from
+        assert got.array_to == want.array_to
+        assert got.rows_scanned == want.rows_scanned
+        assert got.boxes_in == want.boxes_in
+        assert got.boxes_out_raw == want.boxes_out_raw
+        assert got.boxes_out_merged == want.boxes_out_merged
+
+
+class TestMergeBoxesBatchEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_batches_match_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(60):
+            ndim = int(rng.integers(1, 4))
+            n = int(rng.integers(0, 60))
+            n_queries = int(rng.integers(1, 6))
+            lo, hi = random_boxes(rng, ndim, n)
+            qid = np.sort(rng.integers(0, n_queries, size=n)).astype(np.int64)
+            got = merge_boxes_batch(lo, hi, qid)
+            want = merge_boxes_batch_reference(lo, hi, qid)
+            for g, w in zip(got, want):
+                assert np.array_equal(g, w)
+
+    def test_qid_segments_stay_contiguous_and_ordered(self):
+        rng = np.random.default_rng(7)
+        lo, hi = random_boxes(rng, 2, 40)
+        qid = np.sort(rng.integers(0, 5, size=40)).astype(np.int64)
+        _, _, out_qid = merge_boxes_batch(lo, hi, qid)
+        assert np.array_equal(out_qid, np.sort(out_qid))
+
+    def test_empty(self):
+        lo = np.empty((0, 2), np.int64)
+        qid = np.empty((0,), np.int64)
+        got = merge_boxes_batch(lo, lo, qid)
+        assert got[0].shape == (0, 2) and got[2].shape == (0,)
+
+    def test_identical_queries_merge_independently(self):
+        # two queries with the same boxes must each keep their own copy —
+        # the qid axis must prevent cross-query coalescing
+        lo = np.array([[0], [0]], np.int64)
+        hi = np.array([[3], [3]], np.int64)
+        qid = np.array([0, 1], np.int64)
+        out_lo, out_hi, out_qid = merge_boxes_batch(lo, hi, qid)
+        assert out_lo.shape == (2, 1)
+        assert np.array_equal(out_qid, [0, 1])
+
+
+class TestThetaJoinBatchEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("key", ["output", "input"])
+    @pytest.mark.parametrize("merge", [True, False])
+    def test_random_batches_match_oracle(self, seed, key, merge):
+        rng = np.random.default_rng(seed)
+        for _ in range(25):
+            relation = random_relation(rng)
+            table = compress(relation, key=key)
+            shape = relation.out_shape if key == "output" else relation.in_shape
+            name = relation.out_name if key == "output" else relation.in_name
+            queries = random_query_batch(rng, name, shape)
+            got = theta_join_batch(queries, table, merge=merge)
+            want = theta_join_batch_reference(queries, table, merge=merge)
+            assert len(got) == len(want)
+            for g, w in zip(got, want):
+                assert_box_sets_identical(g, w)
+
+    def test_empty_batch(self):
+        relation = random_relation(np.random.default_rng(0))
+        table = compress(relation, key="output")
+        assert theta_join_batch([], table) == []
+
+    def test_blocked_batch_matches_oracle(self, monkeypatch):
+        import repro.core.query as query_mod
+
+        rng = np.random.default_rng(13)
+        relation = random_relation(rng, max_ndim=2, max_dim=8, max_rows=120)
+        table = compress(relation, key="output")
+        shape = relation.out_shape
+        queries = random_query_batch(rng, relation.out_name, shape, max_queries=16, max_boxes=6)
+        stats = {}
+        monkeypatch.setattr(query_mod, "THETA_JOIN_BLOCK_BUDGET_BYTES", 256)
+        got = query_mod.theta_join_batch(queries, table, merge=False, stats=stats)
+        monkeypatch.undo()
+        want = theta_join_batch_reference(queries, table, merge=False)
+        for g, w in zip(got, want):
+            assert_box_sets_identical(g, w)
+        if len(table) and sum(len(q) for q in queries):
+            assert stats["join_blocks"] > 1
+
+    def test_wrong_array_name_raises(self):
+        relation = random_relation(np.random.default_rng(1))
+        table = compress(relation, key="output")
+        bad = CellBoxSet.empty("someone-else", (3,) * table.key_ndim)
+        with pytest.raises(ValueError):
+            theta_join_batch([bad], table)
+
+
+class TestExecutePathBatchEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("merge", [True, False])
+    def test_random_chains_match_oracle(self, seed, merge):
+        rng = np.random.default_rng(seed)
+        for _ in range(25):
+            tables, shape = random_chain(rng)
+            queries = random_query_batch(rng, tables[0].key_name, shape)
+            got = execute_path_batch(tables, queries, merge=merge)
+            want = execute_path_batch_reference(tables, queries, merge=merge)
+            assert len(got) == len(want)
+            for g, w in zip(got, want):
+                assert_box_sets_identical(g.cells, w.cells)
+                assert_hops_identical(g.hops, w.hops)
+
+    def test_early_exit_per_query(self):
+        # query 0 dies at hop 1 of 2; query 1 survives both hops — each
+        # must get exactly the hop list the sequential path records
+        r1 = LineageRelation.from_pairs(
+            [((0,), (0,))], (4,), (4,), out_name="C", in_name="B"
+        )
+        r2 = LineageRelation.from_pairs(
+            [((i,), (i,)) for i in range(4)], (4,), (4,), out_name="B", in_name="A"
+        )
+        tables = [compress(r1, key="output"), compress(r2, key="output")]
+        dead = CellBoxSet.from_cells("C", (4,), [(3,)])  # no lineage rows
+        live = CellBoxSet.from_cells("C", (4,), [(0,)])
+        got = execute_path_batch(tables, [dead, live])
+        want = execute_path_batch_reference(tables, [dead, live])
+        assert len(got[0].hops) == 1 and len(got[1].hops) == 2
+        for g, w in zip(got, want):
+            assert_box_sets_identical(g.cells, w.cells)
+            assert_hops_identical(g.hops, w.hops)
+        # the dead query's empty result lives on the array where it died
+        assert got[0].cells.array_name == "B"
+        assert got[1].cells.array_name == "A"
+
+    def test_empty_batch_and_empty_chain(self):
+        assert execute_path_batch([], []) == []
+        query = CellBoxSet.from_cells("X", (3,), [(1,)])
+        results = execute_path_batch([], [query])
+        assert len(results) == 1
+        assert results[0].cells is query and results[0].hops == []

@@ -72,6 +72,14 @@ def _counter_value(name, **labels):
 # ----------------------------------------------------------------------
 def test_metrics_endpoint_serves_valid_prometheus(client):
     client.prov_query(["c", "a"], cells=[(1, 1)])
+    # the handler meters after sending the response, so the scrape below
+    # can win the race against the /query handler thread; poll briefly
+    deadline = time.monotonic() + 5.0
+    while (
+        _counter_value("dslog_http_requests_total", endpoint="/query", status="200") < 1
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.01)
     text = client.metrics_text()
     families = parse_prometheus_text(text)  # raises on malformed text
     for name in REQUIRED_METRICS:

@@ -267,3 +267,112 @@ def test_closed_executor_rejects_queries(log):
         ex.map_queries([(["a", "b"], QUERY), (["b", "c"], QUERY)])
     with pytest.raises(RuntimeError):
         ex.impact("a")
+
+
+# ----------------------------------------------------------------------
+# batched execution
+# ----------------------------------------------------------------------
+import threading  # noqa: E402
+
+import numpy as np  # noqa: E402
+
+from repro.service.query import QueryOutcome  # noqa: E402
+
+
+def test_batch_matches_individual(log):
+    """prov_query_batch over mixed paths is bit-identical to one query at
+    a time — the executor-level face of the kernel equivalence tests."""
+    requests = [
+        (["a", "b"], QUERY),
+        (["a", "b", "c"], QUERY),
+        (["c", "b", "a"], [(0, 0)]),
+        (["a", "b"], [(5, 5)]),
+    ]
+    with QueryExecutor(log, max_workers=2, cache_entries=0) as ex:
+        batched = ex.prov_query_batch(requests)
+        for (path, cells), got in zip(requests, batched):
+            want = ex.prov_query(path, cells)
+            assert got.cells.array_name == want.cells.array_name
+            assert np.array_equal(got.cells.lo, want.cells.lo)
+            assert np.array_equal(got.cells.hi, want.cells.hi)
+
+
+def test_batch_mixed_cached_uncached_unknown(log):
+    """One batch mixing a cache hit, a miss and an unknown array: the hit
+    peels off before the kernel, the miss executes, and the bad request
+    comes back as its own exception — never a whole-batch failure."""
+    with QueryExecutor(log, max_workers=2) as ex:
+        warm = ex.query(["a", "b"], QUERY)  # prime the cache
+        assert not warm.cached
+        outcomes = ex.query_batch(
+            [
+                (["a", "b"], QUERY),
+                (["a", "b", "c"], QUERY),
+                (["a", "nope"], QUERY),
+            ]
+        )
+        assert isinstance(outcomes[0], QueryOutcome) and outcomes[0].cached
+        assert isinstance(outcomes[1], QueryOutcome) and not outcomes[1].cached
+        assert isinstance(outcomes[2], KeyError)
+        # the miss was installed: a second batch is all cache hits
+        again = ex.query_batch([(["a", "b", "c"], QUERY)])
+        assert again[0].cached
+
+
+def test_batch_all_cached_skips_kernel(log):
+    with QueryExecutor(log, max_workers=2) as ex:
+        ex.query(["a", "c"], QUERY)
+        before = ex.stats()["queries"]
+        outcomes = ex.query_batch([(["a", "c"], QUERY)] * 3)
+        assert all(o.cached for o in outcomes)
+        assert ex.stats()["queries"] == before  # no kernel work counted
+
+
+def test_batch_empty_and_stats(log):
+    with QueryExecutor(log) as ex:
+        assert ex.query_batch([]) == []
+        ex.query_batch([(["a", "b"], QUERY)])
+        stats = ex.stats()
+        assert stats["batches"] == 1
+        assert stats["batched_queries"] == 1
+
+
+def test_batch_prov_raises_first_failure(log):
+    with QueryExecutor(log) as ex:
+        with pytest.raises(KeyError):
+            ex.prov_query_batch([(["a", "b"], QUERY), (["nope", "b"], QUERY)])
+
+
+def test_batch_racing_replace_and_compaction(tmp_path):
+    """Batches racing replace=True rewrites plus compaction churn must keep
+    returning consistent results — the batch pins one snapshot for all of
+    its queries, so segment retirement can't yank tables mid-pass."""
+    log = DSLog(tmp_path / "db", backend="sharded", num_shards=4)
+    build_chain(log, ["a", "b", "c"])
+    expected = log.prov_query(["a", "b", "c"], QUERY).count_cells()
+    stop = threading.Event()
+    errors = []
+
+    def churn():
+        while not stop.is_set():
+            try:
+                log.add_lineage("a", "b", relation=identity("a", "b"), replace=True)
+                log.compact()
+            except Exception as error:  # pragma: no cover - fail below
+                errors.append(error)
+                return
+
+    thread = threading.Thread(target=churn)
+    thread.start()
+    try:
+        with QueryExecutor(log, max_workers=2, cache_entries=0) as ex:
+            for _ in range(15):
+                results = ex.prov_query_batch(
+                    [(["a", "b", "c"], QUERY), (["c", "b", "a"], QUERY)]
+                )
+                assert [r.count_cells() for r in results] == [expected, expected]
+    finally:
+        stop.set()
+        thread.join()
+        log.close()
+    assert not errors
