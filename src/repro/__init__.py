@@ -50,6 +50,8 @@ from .service import (
     LineageServer,
     LineageService,
     QueryExecutor,
+    RPCClient,
+    RPCServer,
     SnapshotDSLog,
 )
 from .storage.store import LineageStore
@@ -74,6 +76,8 @@ __all__ = [
     "QueryExecutor",
     "LineageServer",
     "LineageClient",
+    "RPCServer",
+    "RPCClient",
     "CompressedLineage",
     "CellBoxSet",
     "QueryResult",

@@ -22,12 +22,12 @@ engine consumes.
 
 from __future__ import annotations
 
-import json
-import struct
 import zlib
 from typing import Dict, List, Tuple
 
 import numpy as np
+
+from ..core.serialize import json_frame, parse_json_frame
 
 __all__ = [
     "BaselineStore",
@@ -60,17 +60,12 @@ def _smallest_int_dtype(lo: int, hi: int) -> np.dtype:
 def _pack_blocks(header: dict, blocks: List[bytes]) -> bytes:
     header = dict(header)
     header["block_sizes"] = [len(b) for b in blocks]
-    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    return _MAGIC + struct.pack("<I", len(header_bytes)) + header_bytes + b"".join(blocks)
+    return json_frame(_MAGIC, header, b"".join(blocks))
 
 
 def _unpack_blocks(data: bytes) -> Tuple[dict, List[bytes]]:
-    if data[:4] != _MAGIC:
-        raise ValueError("not a baseline store payload")
-    (header_len,) = struct.unpack("<I", data[4:8])
-    header = json.loads(data[8 : 8 + header_len].decode("utf-8"))
+    header, offset = parse_json_frame(data, _MAGIC, "baseline store payload")
     blocks = []
-    offset = 8 + header_len
     for size in header["block_sizes"]:
         blocks.append(data[offset : offset + size])
         offset += size

@@ -214,6 +214,32 @@ class CellBoxSet:
             out.update(box.cells())
         return out
 
+    def to_cells_array(self) -> np.ndarray:
+        """Explicit cells as a deduplicated ``(n, ndim)`` int64 array in
+        lexicographic row order — the vectorized counterpart of
+        ``sorted(to_cells())``, used by the serving tier to build cell
+        listings without materializing per-cell Python tuples."""
+        if self.is_empty():
+            return np.empty((0, self.ndim), dtype=np.int64)
+        parts = []
+        for i in range(len(self)):
+            axes = [
+                np.arange(int(self.lo[i, d]), int(self.hi[i, d]) + 1)
+                for d in range(self.ndim)
+            ]
+            grid = np.meshgrid(*axes, indexing="ij")
+            parts.append(np.stack([g.ravel() for g in grid], axis=1))
+        cells = np.concatenate(parts, axis=0).astype(np.int64, copy=False)
+        n = len(self)
+        if n == 1:
+            return cells  # an ij meshgrid ravels in lexicographic order
+        if n <= 64 and _boxes_disjoint(self.lo, self.hi):
+            # disjoint boxes produce no duplicate cells: sorting suffices
+            return cells[np.lexsort(cells.T[::-1])]
+        # np.unique sorts rows lexicographically — same order as
+        # sorted(set(...)) over the equivalent tuples
+        return np.unique(cells, axis=0)
+
     def to_mask(self) -> np.ndarray:
         """Return a boolean mask over the array shape marking member cells."""
         mask = np.zeros(self.shape, dtype=bool)
@@ -233,11 +259,28 @@ class CellBoxSet:
         cell is covered either fully or not at all, so the occupied cells
         form a disjoint box decomposition of the union and the answer is the
         sum of their volumes.  No array-sized mask is ever allocated.
+
+        The result is memoized — the box arrays are never mutated after
+        construction, and the serving tier may ask for the count more than
+        once per result (payload building, stats, batch manifests).
         """
+        count = getattr(self, "_cell_count", None)
+        if count is None:
+            count = self._count_cells()
+            self._cell_count = count
+        return count
+
+    def _count_cells(self) -> int:
         if self.is_empty():
             return 0
         lo, hi = self.lo, self.hi
-        if lo.shape[0] > 1:
+        n = lo.shape[0]
+        if 1 < n <= 64 and _boxes_disjoint(lo, hi):
+            # small sets: when the boxes are pairwise disjoint the union
+            # volume is just the sum of volumes — one O(n²·ndim) broadcast
+            # beats the constant cost of the merge + compressed-grid sweep
+            return int((hi - lo + 1).prod(axis=1).sum())
+        if n > 1:
             lo, hi = merge_boxes(lo, hi)
         if lo.shape[0] == 1:
             return int(np.prod(hi[0] - lo[0] + 1))
@@ -273,6 +316,14 @@ class CellBoxSet:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CellBoxSet({self.array_name}, boxes={len(self)})"
+
+
+def _boxes_disjoint(lo: np.ndarray, hi: np.ndarray) -> bool:
+    """True when no two boxes overlap (O(n²·ndim) broadcast — callers cap n)."""
+    overlap = np.logical_and(
+        lo[:, None, :] <= hi[None, :, :], hi[:, None, :] >= lo[None, :, :]
+    ).all(axis=2)
+    return int(overlap.sum()) == lo.shape[0]  # only the diagonal self-overlaps
 
 
 def _count_union_grid(lo: np.ndarray, hi: np.ndarray) -> int:
@@ -463,6 +514,9 @@ class QueryResult:
 
     def to_cells(self) -> Set[Cell]:
         return self.cells.to_cells()
+
+    def to_cells_array(self) -> np.ndarray:
+        return self.cells.to_cells_array()
 
     @classmethod
     def union(cls, results: Sequence["QueryResult"], merge: bool = True) -> "QueryResult":

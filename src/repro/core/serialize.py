@@ -38,10 +38,81 @@ __all__ = [
     "write_compressed",
     "read_compressed",
     "read_column_arrays",
+    "frame_header",
+    "parse_header",
+    "json_frame",
+    "parse_json_frame",
+    "smallest_int_dtype",
 ]
 
 _MAGIC = b"PRVC"
 _COLUMNS = ("key_lo", "key_hi", "val_kind", "val_ref", "val_lo", "val_hi")
+
+
+# ----------------------------------------------------------------------
+# shared magic/struct framing
+# ----------------------------------------------------------------------
+# Every binary format in the repo opens the same way: a short ASCII magic
+# followed by a little-endian struct of fixed fields — "PRVC"/"BLST" carry
+# a u32 JSON-header length, "DSEG" a u16 wire version, the RPC frame a
+# (version, length, opcode, request id) tuple.  These two helpers are that
+# one idiom, with uniform truncation/corruption errors, so each format
+# stops hand-rolling its own slice-and-unpack.
+
+def frame_header(magic: bytes, layout: str, *fields) -> bytes:
+    """Pack *magic* + ``struct.pack("<" + layout, *fields)``."""
+    return magic + struct.pack("<" + layout, *fields)
+
+
+def parse_header(data, magic: bytes, layout: str, what: str = "frame") -> Tuple[tuple, int]:
+    """Validate *magic* and unpack the fixed header fields behind it.
+
+    *data* is any buffer.  Returns ``(fields, offset)`` where *offset* is
+    the first byte past the header.  Raises ``ValueError`` naming *what*
+    when the buffer is shorter than the header (truncation) or the magic
+    does not match (corruption / wrong format).
+    """
+    view = memoryview(data)
+    size = len(magic) + struct.calcsize("<" + layout)
+    if len(view) < size:
+        raise ValueError(
+            f"truncated {what} header: need {size} bytes, have {len(view)}"
+        )
+    if bytes(view[: len(magic)]) != magic:
+        raise ValueError(
+            f"not a {what}: bad magic {bytes(view[:len(magic)])!r} (want {magic!r})"
+        )
+    return struct.unpack("<" + layout, view[len(magic) : size]), size
+
+
+def json_frame(magic: bytes, header: dict, payload: bytes = b"") -> bytes:
+    """*magic* + u32 header length + compact JSON *header* + *payload* —
+    the "PRVC" framing, shared by every JSON-headed format."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return frame_header(magic, "I", len(header_bytes)) + header_bytes + payload
+
+
+def parse_json_frame(data, magic: bytes, what: str = "frame") -> Tuple[dict, int]:
+    """Inverse of :func:`json_frame`: returns ``(header, payload_offset)``.
+
+    Raises ``ValueError`` on a bad magic, a header length that overruns
+    the buffer, or JSON that does not decode — every corruption mode maps
+    to one exception type the storage/scrub layers already handle.
+    """
+    view = memoryview(data)
+    (header_len,), offset = parse_header(view, magic, "I", what)
+    if len(view) < offset + header_len:
+        raise ValueError(
+            f"truncated {what} header: JSON header claims {header_len} bytes, "
+            f"only {len(view) - offset} present"
+        )
+    try:
+        header = json.loads(bytes(view[offset : offset + header_len]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"corrupt {what} header: {error}") from None
+    if not isinstance(header, dict):
+        raise ValueError(f"corrupt {what} header: not a JSON object")
+    return header, offset + header_len
 
 # dtype-string -> np.dtype cache: hydration decodes six columns per table
 # and np.dtype('<i1') parsing is a measurable share of a small-table decode
@@ -96,6 +167,11 @@ def _smallest_int_dtype(array: np.ndarray) -> np.dtype:
     return np.dtype(np.int64)
 
 
+# the RPC wire layer narrows result boxes the same way table columns are
+# narrowed on disk; one name, one policy
+smallest_int_dtype = _smallest_int_dtype
+
+
 def serialize_compressed(table: CompressedLineage) -> bytes:
     """Serialize a compressed lineage table to bytes (no general compression)."""
     columns = {}
@@ -121,8 +197,7 @@ def serialize_compressed(table: CompressedLineage) -> bytes:
         "in_axes": list(table.in_axes),
         "columns": columns,
     }
-    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    return _MAGIC + struct.pack("<I", len(header_bytes)) + header_bytes + bytes(payload)
+    return json_frame(_MAGIC, header, bytes(payload))
 
 
 def read_column_arrays(data) -> Tuple[dict, Dict[str, np.ndarray]]:
@@ -136,11 +211,7 @@ def read_column_arrays(data) -> Tuple[dict, Dict[str, np.ndarray]]:
     empty product 1, not 0.
     """
     view = memoryview(data)
-    if bytes(view[:4]) != _MAGIC:
-        raise ValueError("not a ProvRC serialized table")
-    (header_len,) = struct.unpack("<I", view[4:8])
-    header = json.loads(bytes(view[8 : 8 + header_len]).decode("utf-8"))
-    offset = 8 + header_len
+    header, offset = parse_json_frame(view, _MAGIC, "ProvRC serialized table")
     arrays: Dict[str, np.ndarray] = {}
     columns = header["columns"]
     frombuffer = np.frombuffer
@@ -218,10 +289,7 @@ def peek_table_identity(data) -> Tuple[str, str, str]:
     view = memoryview(data)
     if bytes(view[:4]) != _MAGIC:
         view = memoryview(zlib.decompress(view))
-        if bytes(view[:4]) != _MAGIC:
-            raise ValueError("not a serialized ProvRC table")
-    (header_len,) = struct.unpack("<I", bytes(view[4:8]))
-    header = json.loads(bytes(view[8 : 8 + header_len]).decode("utf-8"))
+    header, _offset = parse_json_frame(view, _MAGIC, "serialized ProvRC table")
     return header["key_side"], header["in_name"], header["out_name"]
 
 

@@ -864,28 +864,63 @@ class DSLog:
         cache_entries: Optional[int] = None,
         coalesce_ms: Optional[float] = None,
         start: bool = True,
+        transport: str = "http",
+        rpc_port: int = 0,
     ) -> "LineageServer":
-        """Expose this catalog over the HTTP JSON API
-        (:mod:`repro.service.server`) on a background thread.
+        """Expose this catalog over the network on a background thread.
 
-        ``port=0`` picks a free port; read it (or the full URL) off the
-        returned server.  ``coalesce_ms`` opts into ``/query`` request
-        coalescing (``None`` defers to the ``DSLOG_COALESCE_MS``
-        environment variable).  Pass ``start=False`` to get an unstarted
-        server for ``serve_forever()`` on a dedicated process's main
-        thread.
+        *transport* picks the wire: ``"http"`` (the default) returns a
+        :class:`~repro.service.server.LineageServer` speaking the JSON
+        API, ``"rpc"`` an :class:`~repro.service.rpc.RPCServer` speaking
+        the framed binary protocol, and ``"both"`` a
+        :class:`~repro.service.rpc.DualServer` running the two side by
+        side over one shared executor and result cache (*port* binds the
+        HTTP listener, *rpc_port* the RPC one).
+
+        ``port=0`` picks a free port; read it (or the full URL / RPC
+        address) off the returned server.  ``coalesce_ms`` opts into
+        query-request coalescing (``None`` defers to the
+        ``DSLOG_COALESCE_MS`` environment variable).  Pass
+        ``start=False`` to get an unstarted server for
+        ``serve_forever()`` on a dedicated process's main thread.
         """
         from .service.query import DEFAULT_CACHE_ENTRIES
+        from .service.rpc import DualServer, RPCServer
         from .service.server import LineageServer
 
-        server = LineageServer(
-            self,
-            host=host,
-            port=port,
-            max_workers=max_workers,
-            cache_entries=DEFAULT_CACHE_ENTRIES if cache_entries is None else cache_entries,
-            coalesce_ms=coalesce_ms,
-        )
+        entries = DEFAULT_CACHE_ENTRIES if cache_entries is None else cache_entries
+        if transport == "http":
+            server = LineageServer(
+                self,
+                host=host,
+                port=port,
+                max_workers=max_workers,
+                cache_entries=entries,
+                coalesce_ms=coalesce_ms,
+            )
+        elif transport == "rpc":
+            server = RPCServer(
+                self,
+                host=host,
+                port=port,
+                max_workers=max_workers,
+                cache_entries=entries,
+                coalesce_ms=coalesce_ms,
+            )
+        elif transport == "both":
+            server = DualServer(
+                self,
+                host=host,
+                http_port=port,
+                rpc_port=rpc_port,
+                max_workers=max_workers,
+                cache_entries=entries,
+                coalesce_ms=coalesce_ms,
+            )
+        else:
+            raise ValueError(
+                f"unknown transport {transport!r}; use 'http', 'rpc' or 'both'"
+            )
         return server.start() if start else server
 
     def snapshot(self) -> "DSLog":

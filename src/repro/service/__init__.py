@@ -22,8 +22,10 @@ ingest and snapshot-isolated readers.
   ``/graph/summary``, ``/healthz``).
 """
 
+from .api import ServiceCore
 from .pipeline import IngestTicket, LineageService, ServiceClosedError
 from .query import QueryExecutor, QueryOutcome, ResultCache
+from .rpc import DualServer, RPCClient, RPCServer
 from .server import (
     LineageClient,
     LineageConnectionError,
@@ -56,4 +58,8 @@ __all__ = [
     "LineageClient",
     "LineageServerError",
     "LineageConnectionError",
+    "ServiceCore",
+    "RPCServer",
+    "RPCClient",
+    "DualServer",
 ]

@@ -1,0 +1,536 @@
+"""The transport-agnostic service layer behind both lineage servers.
+
+PR 4 built the HTTP server with its request handling inlined; the binary
+RPC tier (:mod:`repro.service.rpc`) serves the *same* catalog operations
+over a different wire, so everything that is about the **service** rather
+than the **transport** lives here:
+
+* :func:`parse_query_request` — validate a query body (shared request
+  shape: ``path`` + ``cells``/``slices`` + flags) into a :class:`QuerySpec`;
+* :class:`ServiceCore` — one object owning the
+  :class:`~repro.service.query.QueryExecutor`, the optional
+  :class:`QueryCoalescer` and the health/scrub/traces plumbing.  The HTTP
+  server and the RPC server are both thin shells over one core — when
+  ``DSLog.serve(transport="both")`` runs them side by side they share the
+  executor, so a result cached through one transport is a cache hit
+  through the other;
+* :func:`error_info` — the one exception → ``(status, type, message)``
+  taxonomy, used verbatim for HTTP status codes, per-item batch errors
+  and RPC error frames;
+* :func:`result_payload` — the JSON-encodable form of a query result
+  (the HTTP wire format; the RPC transport encodes the same fields
+  binary via :mod:`repro.service.wire`).
+
+The coalescer also lives here: grouping single queries into one executor
+batch is a service-level behavior, not an HTTP one, and the RPC server
+funnels its ``OP_QUERY`` frames through the very same instance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+from ..faults import DeadlineExceeded, IngestOverloaded, ShardUnavailable
+from ..obs import DEFAULT_SIZE_BUCKETS, REGISTRY, tracing
+from ..storage.catalog import AmbiguousLineageError
+from .query import DEFAULT_CACHE_ENTRIES, QueryExecutor, QueryOutcome
+
+__all__ = [
+    "QuerySpec",
+    "parse_query_request",
+    "result_payload",
+    "error_info",
+    "BadJson",
+    "QueryCoalescer",
+    "ServiceCore",
+    "storage_stats",
+]
+
+_COALESCED_BATCH = REGISTRY.histogram(
+    "dslog_coalesced_batch_size",
+    "Single /query requests grouped into one executor batch per flush",
+    buckets=DEFAULT_SIZE_BUCKETS,
+)
+_COALESCE_FLUSHES = REGISTRY.counter(
+    "dslog_coalesce_flushes_total",
+    "Coalescer flushes, by trigger (idle = lone request on an idle queue, "
+    "window = the coalescing tick expired)",
+    labelnames=("reason",),
+)
+
+
+class BadJson(ValueError):
+    """A body was present but not valid JSON (distinct 400 type)."""
+
+
+class QuerySpec(NamedTuple):
+    """A validated ``/query`` request body."""
+
+    path: list
+    query: Any
+    merge: bool
+    include_boxes: bool
+    include_cells: bool
+    deadline: Optional[float]
+
+
+def _parse_deadline(value) -> Optional[float]:
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+        raise ValueError("'deadline' must be a positive number of seconds")
+    return float(value)
+
+
+def parse_query_request(body: dict) -> QuerySpec:
+    """Validate one query request body (shared by both transports)."""
+    path = body.get("path")
+    if not isinstance(path, list) or len(path) < 2 or not all(
+        isinstance(name, str) for name in path
+    ):
+        raise ValueError("'path' must be a list of at least two array names")
+    cells = body.get("cells")
+    slices = body.get("slices")
+    if (cells is None) == (slices is None):
+        raise ValueError("exactly one of 'cells' or 'slices' is required")
+    if cells is not None:
+        if not isinstance(cells, list):
+            raise ValueError("'cells' must be a list of cell coordinates")
+        query: Any = []
+        for cell in cells:
+            if isinstance(cell, list) and all(isinstance(c, int) for c in cell):
+                query.append(tuple(cell))
+            elif isinstance(cell, int):
+                query.append(cell)
+            else:
+                raise ValueError(
+                    "'cells' entries must be integer coordinate lists (or bare "
+                    f"integers for 1-D arrays), got {cell!r}"
+                )
+    else:
+        if not isinstance(slices, list):
+            raise ValueError("'slices' must be a list of [start, stop] pairs")
+        query = []
+        for pair in slices:
+            if pair is None:
+                query.append(slice(None, None))
+            elif (
+                isinstance(pair, list)
+                and len(pair) == 2
+                and all(p is None or isinstance(p, int) for p in pair)
+            ):
+                query.append(slice(pair[0], pair[1]))
+            else:
+                raise ValueError(
+                    f"'slices' entries must be [start, stop] pairs or null, got {pair!r}"
+                )
+    return QuerySpec(
+        path=path,
+        query=query,
+        merge=bool(body.get("merge", True)),
+        include_boxes=bool(body.get("include_boxes", True)),
+        include_cells=bool(body.get("include_cells", False)),
+        deadline=_parse_deadline(body.get("deadline")),
+    )
+
+
+def result_payload(
+    result, include_boxes: bool = True, include_cells: bool = False
+) -> dict:
+    """JSON-encodable form of a :class:`~repro.core.query.QueryResult`."""
+    cells = result.cells
+    payload: Dict[str, Any] = {
+        "array": cells.array_name,
+        "shape": list(cells.shape),
+        "boxes_merged": int(len(cells)),
+        "count": int(result.count_cells()),
+        "hops": [
+            {
+                "from": hop.array_from,
+                "to": hop.array_to,
+                "rows_scanned": hop.rows_scanned,
+                "boxes_in": hop.boxes_in,
+                "boxes_out_raw": hop.boxes_out_raw,
+                "boxes_out_merged": hop.boxes_out_merged,
+                "seconds": hop.seconds,
+            }
+            for hop in result.hops
+        ],
+    }
+    if include_boxes:
+        payload["boxes"] = [
+            [cells.lo[i].tolist(), cells.hi[i].tolist()] for i in range(len(cells))
+        ]
+    if include_cells:
+        payload["cells"] = result.to_cells_array().tolist()
+    return payload
+
+
+def error_info(error: BaseException) -> Tuple[int, str, str]:
+    """Map an exception to its structured ``(status, type, message)``
+    triple — the one taxonomy behind whole-request errors, the per-item
+    errors of batched queries, and RPC error frames."""
+    if isinstance(error, BadJson):
+        return 400, "bad-json", f"malformed JSON body: {error}"
+    if isinstance(error, (ValueError, AmbiguousLineageError)):
+        return 400, "bad-request", str(error)
+    if isinstance(error, KeyError):
+        return 404, "not-found", str(error.args[0] if error.args else error)
+    if isinstance(error, DeadlineExceeded):
+        # before OSError: TimeoutError is an OSError subclass on 3.10+
+        return 504, "deadline-exceeded", str(error)
+    if isinstance(error, ShardUnavailable):
+        return 503, "shard-unavailable", str(error)
+    if isinstance(error, IngestOverloaded):
+        return 503, "overloaded", str(error)
+    if isinstance(error, OSError):
+        return 503, "io-error", f"{type(error).__name__}: {error}"
+    return 500, "internal", f"{type(error).__name__}: {error}"
+
+
+def storage_stats(store) -> dict:
+    """One shape for both backends: write coalescing, table cache, and mmap
+    reader stats, pulled from the same objects the metrics registry meters."""
+    if store is None:
+        return {}
+    stats: Dict[str, Any] = {}
+    if hasattr(store, "write_stats"):
+        stats["writes"] = store.write_stats()
+    if hasattr(store, "cache_stats"):  # sharded: one entry per shard
+        stats["table_cache"] = store.cache_stats()
+    elif hasattr(store, "cache"):
+        stats["table_cache"] = store.cache.stats()
+    if hasattr(store, "reader_stats"):
+        stats["readers"] = store.reader_stats()
+    return stats
+
+
+class _PendingQuery:
+    """One query parked in the coalescer, waiting for a flush."""
+
+    __slots__ = ("path", "query", "merge", "deadline", "arrival", "event", "outcome", "error")
+
+    def __init__(self, path, query, merge: bool, deadline: Optional[float]) -> None:
+        self.path = path
+        self.query = query
+        self.merge = merge
+        self.deadline = deadline
+        self.arrival = time.monotonic()
+        self.event = threading.Event()
+        self.outcome: Optional[QueryOutcome] = None
+        self.error: Optional[BaseException] = None
+
+
+class QueryCoalescer:
+    """Group single queries arriving within a window into one executor
+    batch — the read-path mirror of the ingest committer's group commit.
+
+    A background flusher owns the pending queue.  The flush rule keeps
+    single-threaded clients deadlock- and latency-free: woken with exactly
+    one pending request and nothing else inbound, the flusher flushes it
+    *immediately* (counted as reason ``idle``); with two or more pending it
+    waits out the coalescing tick from the *earliest* arrival, letting more
+    requests pile on, then flushes them as one batch (reason ``window``).
+    Requests arriving while a batch executes accumulate for the next flush,
+    so batches form under sustained load without ever parking a lone caller.
+
+    Transport-agnostic: the HTTP server's ``/query`` handlers and the RPC
+    server's ``OP_QUERY`` handlers submit into the same instance, so
+    cross-transport traffic coalesces into shared batches.
+    """
+
+    def __init__(self, executor: QueryExecutor, window_ms: float) -> None:
+        self.executor = executor
+        self.window = max(0.0, float(window_ms)) / 1000.0
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: List[_PendingQuery] = []
+        self._closed = False
+        self.flushes = {"idle": 0, "window": 0}
+        self.queries = 0
+        self.largest_batch = 0
+        self._thread = threading.Thread(
+            target=self._run, name="query-coalescer", daemon=True
+        )
+        self._thread.start()
+
+    def submit(
+        self,
+        path,
+        query,
+        merge: bool = True,
+        deadline: Optional[float] = None,
+    ) -> QueryOutcome:
+        """Park the query until the next flush; returns its outcome (or
+        re-raises its per-item error) once the batch it joined executes."""
+        item = _PendingQuery(path, query, merge, deadline)
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("the query coalescer is closed")
+            self._pending.append(item)
+            self._wakeup.notify()
+        item.event.wait()
+        if item.error is not None:
+            raise item.error
+        assert item.outcome is not None
+        return item.outcome
+
+    def _run(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._pending and not self._closed:
+                    self._wakeup.wait()
+                if not self._pending:
+                    return  # closed and drained
+                if len(self._pending) > 1 and not self._closed:
+                    # several waiters: let the tick fill the batch
+                    expires = self._pending[0].arrival + self.window
+                    while not self._closed:
+                        remaining = expires - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._wakeup.wait(timeout=remaining)
+                batch, self._pending = self._pending, []
+            self._flush(batch)
+
+    def _flush(self, batch: List[_PendingQuery]) -> None:
+        reason = "idle" if len(batch) == 1 else "window"
+        self.flushes[reason] += 1
+        self.queries += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+        _COALESCE_FLUSHES.labels(reason=reason).inc()
+        _COALESCED_BATCH.observe(len(batch))
+        # executor batches share one merge flag and one deadline; flush
+        # each distinct combination as its own sub-batch
+        groups: Dict[Tuple[bool, Optional[float]], List[_PendingQuery]] = {}
+        for item in batch:
+            groups.setdefault((item.merge, item.deadline), []).append(item)
+        for (merge, deadline), items in groups.items():
+            try:
+                outcomes = self.executor.query_batch(
+                    [(item.path, item.query) for item in items],
+                    merge=merge,
+                    deadline=deadline,
+                )
+            except BaseException as error:  # noqa: BLE001 - waiters must wake
+                outcomes = [error] * len(items)
+            for item, outcome in zip(items, outcomes):
+                if isinstance(outcome, BaseException):
+                    item.error = outcome
+                else:
+                    item.outcome = outcome
+                item.event.set()
+
+    def stats(self) -> dict:
+        with self._lock:
+            pending = len(self._pending)
+        return {
+            "window_ms": self.window * 1000.0,
+            "pending": pending,
+            "flushes": dict(self.flushes),
+            "queries": self.queries,
+            "largest_batch": self.largest_batch,
+        }
+
+    def close(self) -> None:
+        """Stop the flusher; pending requests are flushed before it exits."""
+        with self._wakeup:
+            if self._closed:
+                return
+            self._closed = True
+            self._wakeup.notify_all()
+        self._thread.join(timeout=5)
+
+
+class ServiceCore:
+    """Everything both transports share: the executor, the optional
+    coalescer, and the catalog-level request handlers.
+
+    Parameters
+    ----------
+    log:
+        The :class:`~repro.dslog.DSLog` to serve (any backend).  The core
+        only reads; a colocated writer keeps ingesting through the same
+        log object and the result cache invalidates per touched shard.
+    executor:
+        A pre-built :class:`QueryExecutor` to share; by default the core
+        owns one (and closes it on :meth:`close`).
+    max_workers / cache_entries:
+        Forwarded to the owned executor.
+    coalesce_ms:
+        Opt-in request coalescing: single queries arriving within this
+        window are grouped into one executor batch
+        (:class:`QueryCoalescer`).  ``None`` reads the
+        ``DSLOG_COALESCE_MS`` environment variable; ``0`` (the default
+        when the variable is unset) disables coalescing.
+    """
+
+    def __init__(
+        self,
+        log,
+        executor: Optional[QueryExecutor] = None,
+        max_workers: Optional[int] = None,
+        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        coalesce_ms: Optional[float] = None,
+    ) -> None:
+        self.log = log
+        self._owns_executor = executor is None
+        self.executor = executor or QueryExecutor(
+            log, max_workers=max_workers, cache_entries=cache_entries
+        )
+        if coalesce_ms is None:
+            raw = os.environ.get("DSLOG_COALESCE_MS", "").strip()
+            if raw:
+                try:
+                    coalesce_ms = float(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"DSLOG_COALESCE_MS must be a number of milliseconds, got {raw!r}"
+                    ) from None
+        self.coalescer: Optional[QueryCoalescer] = (
+            QueryCoalescer(self.executor, coalesce_ms)
+            if coalesce_ms is not None and coalesce_ms > 0
+            else None
+        )
+        self._closed = False
+
+    # -- queries --------------------------------------------------------
+    def execute_query(self, body: dict) -> Tuple[QueryOutcome, QuerySpec]:
+        """Validate and run one query body; the transport encodes the
+        outcome (JSON or binary)."""
+        spec = parse_query_request(body)
+        if self.coalescer is not None:
+            outcome = self.coalescer.submit(
+                spec.path, spec.query, merge=spec.merge, deadline=spec.deadline
+            )
+        else:
+            outcome = self.executor.query(
+                spec.path, spec.query, merge=spec.merge, deadline=spec.deadline
+            )
+        return outcome, spec
+
+    def execute_query_batch(self, body: dict) -> Tuple[List[Any], List[Any]]:
+        """Validate and run a batched query body.
+
+        Returns ``(specs, outcomes)``, one entry per input query and in
+        order: ``specs[i]`` is a :class:`QuerySpec` or the ``ValueError``
+        that rejected it, ``outcomes[i]`` the :class:`QueryOutcome` or the
+        per-item exception.  One malformed or failing entry never fails
+        its batch-mates.
+        """
+        items = body.get("queries")
+        if not isinstance(items, list) or not items:
+            raise ValueError("'queries' must be a non-empty list of query objects")
+        deadline = _parse_deadline(body.get("deadline"))
+        specs: List[Any] = []
+        for item in items:
+            try:
+                if not isinstance(item, dict):
+                    raise ValueError("each 'queries' entry must be a JSON object")
+                specs.append(parse_query_request(item))
+            except ValueError as error:
+                specs.append(error)
+        outcomes: List[Any] = [None] * len(items)
+        # one executor batch per merge flavor (batches share a merge flag);
+        # almost all real batches are homogeneous, so this is one call
+        for merge_value in (True, False):
+            idxs = [
+                i
+                for i, spec in enumerate(specs)
+                if not isinstance(spec, BaseException) and spec.merge is merge_value
+            ]
+            if not idxs:
+                continue
+            group = self.executor.query_batch(
+                [(specs[i].path, specs[i].query) for i in idxs],
+                merge=merge_value,
+                deadline=deadline,
+            )
+            for i, outcome in zip(idxs, group):
+                outcomes[i] = outcome
+        for i, spec in enumerate(specs):
+            if isinstance(spec, BaseException):
+                outcomes[i] = spec
+        return specs, outcomes
+
+    # -- graph ----------------------------------------------------------
+    def impact_payload(self, name: str) -> dict:
+        return {"array": name, "impact": self.executor.impact(name)}
+
+    def dependencies_payload(self, name: str) -> dict:
+        return {"array": name, "dependencies": self.executor.dependencies(name)}
+
+    def summary_payload(self) -> dict:
+        # copy before annotating: the summary dict is shared with the cache
+        payload = dict(self.executor.lineage_summary())
+        payload["edges"] = [list(pair) for pair in self.executor.graph_edges()]
+        return payload
+
+    # -- health / admin -------------------------------------------------
+    def healthz_payload(self) -> dict:
+        log = self.log
+        store = getattr(log, "store", None)
+        generations = (
+            list(store.generation_vector()) if store is not None else [log.catalog.version]
+        )
+        breakers = self.executor.breaker_stats()
+        degraded = any(b["state"] != "closed" for b in breakers.values())
+        return {
+            "status": "degraded" if degraded else "ok",
+            "backend": log.backend,
+            "arrays": len(log.catalog.arrays),
+            "entries": len(log.catalog),
+            "operations": len(log.catalog.operations),
+            "generations": generations,
+            "breakers": {str(shard): stats for shard, stats in breakers.items()},
+            "executor": self.executor.stats(),
+            "coalescer": self.coalescer.stats() if self.coalescer is not None else None,
+            "storage": storage_stats(store),
+            "metrics": REGISTRY.snapshot(),
+        }
+
+    def traces_payload(self, limit: Optional[int] = None) -> dict:
+        if limit is not None and limit <= 0:
+            raise ValueError("the trace limit must be positive")
+        return {"traces": tracing.recent_traces(limit)}
+
+    def scrub_payload(self, repair: bool = False) -> dict:
+        try:
+            report = self.log.scrub(repair=repair)
+        except RuntimeError as error:  # e.g. the memory backend has no segments
+            raise ValueError(str(error)) from None
+        # reports may carry Paths / int shard keys; normalize to pure JSON
+        return {"scrub": json.loads(json.dumps(report, default=str))}
+
+    def metrics_text(self) -> str:
+        return REGISTRY.render()
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Release the coalescer and (when owned) the executor.  Safe to
+        call once per transport: only the first call acts."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.coalescer is not None:
+            self.coalescer.close()
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "ServiceCore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def annotate_outcome(payload: dict, outcome: QueryOutcome, elapsed_ms: float) -> dict:
+    """Attach the transport-shared outcome flags to a result payload."""
+    payload["cached"] = outcome.cached
+    payload["degraded"] = outcome.degraded
+    payload["elapsed_ms"] = elapsed_ms
+    return payload

@@ -1,0 +1,886 @@
+"""The binary RPC transport: persistent-connection server and pooled client.
+
+The HTTP tier (:mod:`repro.service.server`) optimizes for reach — curl,
+browsers, load balancers.  This tier optimizes for the common production
+shape instead: a handful of long-lived clients hammering the catalog with
+small queries, where the per-request costs HTTP cannot shed (request-line
+and header parsing, JSON-encoding every box coordinate) dominate the
+round trip.  Both are thin shells over the same
+:class:`~repro.service.api.ServiceCore`, so they answer identically and
+share one executor, result cache and coalescer — ``DSLog.serve(
+transport="both")`` runs them side by side on one catalog.
+
+* :class:`RPCServer` — a ``socketserver.ThreadingTCPServer`` speaking the
+  framed protocol of :mod:`repro.service.wire`: one daemon thread per
+  connection reading length-prefixed frames in a loop (the connection
+  persists across requests; request ids let a client pipeline), dispatching
+  by opcode to the shared core, answering queries with binary result
+  payloads.  Failures become ``OP_ERROR`` frames carrying the same
+  structured ``(status, type, message)`` taxonomy as the HTTP tier — a
+  broken request never hangs or silently drops the connection.
+* :class:`RPCClient` — a pool of persistent connections (created on
+  demand up to *pool_size*, returned to the pool after each round trip)
+  with the same bounded retry machinery as the HTTP client
+  (:class:`~repro.service.retry.RetryPolicy`): a reset connection, a
+  server restart or a mid-frame close is re-dialed and the (idempotent)
+  request re-sent until the attempt count or retry budget runs out.
+  Query results come back as zero-copy :class:`~repro.service.wire.
+  RPCResult` views.
+
+Fault injection: pass a :class:`~repro.faults.FaultPlan` to the server
+and the response path consults site ``"rpc.send"`` — ``stall`` rules
+delay the response, ``error`` rules drop the connection before answering,
+``short_write`` rules transmit a partial frame and then drop it.  The
+soak tests drive these to prove the client degrades to retry, never to a
+hang.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..obs import REGISTRY, log_event, tracing
+from .api import ServiceCore, error_info
+from .query import DEFAULT_CACHE_ENTRIES, QueryExecutor
+from .retry import RetryPolicy
+from .server import LineageConnectionError, LineageServer, LineageServerError
+from .wire import (
+    OP_DEPENDENCIES,
+    OP_ERROR,
+    OP_HEALTHZ,
+    OP_IMPACT,
+    OP_METRICS,
+    OP_PING,
+    OP_QUERY,
+    OP_QUERY_BATCH,
+    OP_SCRUB,
+    OP_SUMMARY,
+    OP_TRACES,
+    OPCODES,
+    RPCResult,
+    ShortRead,
+    decode_batch,
+    decode_json,
+    decode_result,
+    encode_batch,
+    encode_frame,
+    encode_json,
+    encode_result,
+    read_frame,
+)
+
+__all__ = ["RPCServer", "RPCClient", "DualServer"]
+
+_RPC_REQUESTS = REGISTRY.counter(
+    "dslog_rpc_requests_total",
+    "RPC requests served, by opcode and outcome status",
+    labelnames=("op", "status"),
+)
+_RPC_SECONDS = REGISTRY.histogram(
+    "dslog_rpc_request_seconds",
+    "Wall time per RPC request, by opcode",
+    labelnames=("op",),
+)
+_RPC_CONNECTIONS = REGISTRY.gauge(
+    "dslog_rpc_connections",
+    "Currently open RPC client connections",
+)
+
+# opcodes that open a per-request trace (mirrors the HTTP tier's list —
+# the observability endpoints themselves would only self-spam)
+_TRACED_OPS = {OP_QUERY, OP_QUERY_BATCH, OP_IMPACT, OP_DEPENDENCIES, OP_SUMMARY, OP_SCRUB}
+
+
+class _ConnectionDropped(Exception):
+    """Internal: a fault rule (or peer) killed this connection mid-response."""
+
+
+# ----------------------------------------------------------------------
+# per-opcode handlers (body already JSON-decoded; return the payload bytes)
+# ----------------------------------------------------------------------
+def _op_query(core: ServiceCore, body: dict) -> bytes:
+    started = time.monotonic()
+    outcome, spec = core.execute_query(body)
+    return encode_result(
+        outcome.result,
+        include_boxes=spec.include_boxes,
+        include_cells=spec.include_cells,
+        cached=outcome.cached,
+        degraded=outcome.degraded,
+        elapsed_ms=(time.monotonic() - started) * 1000.0,
+    )
+
+
+def _op_query_batch(core: ServiceCore, body: dict) -> bytes:
+    started = time.monotonic()
+    specs, outcomes = core.execute_query_batch(body)
+    entries: List[Union[bytes, dict]] = []
+    for spec, outcome in zip(specs, outcomes):
+        if isinstance(outcome, BaseException):
+            status, kind, message = error_info(outcome)
+            entries.append({"error": {"type": kind, "message": message, "status": status}})
+        else:
+            entries.append(
+                encode_result(
+                    outcome.result,
+                    include_boxes=spec.include_boxes,
+                    include_cells=spec.include_cells,
+                    cached=outcome.cached,
+                    degraded=outcome.degraded,
+                )
+            )
+    return encode_batch(entries, elapsed_ms=(time.monotonic() - started) * 1000.0)
+
+
+def _array_arg(body: dict) -> str:
+    name = body.get("array")
+    if not isinstance(name, str) or not name:
+        raise ValueError("the 'array' field is required")
+    return name
+
+
+def _op_impact(core: ServiceCore, body: dict) -> bytes:
+    return encode_json(core.impact_payload(_array_arg(body)))
+
+
+def _op_dependencies(core: ServiceCore, body: dict) -> bytes:
+    return encode_json(core.dependencies_payload(_array_arg(body)))
+
+
+def _op_summary(core: ServiceCore, body: dict) -> bytes:
+    return encode_json(core.summary_payload())
+
+
+def _op_healthz(core: ServiceCore, body: dict) -> bytes:
+    return encode_json(core.healthz_payload())
+
+
+def _op_metrics(core: ServiceCore, body: dict) -> bytes:
+    return core.metrics_text().encode("utf-8")
+
+
+def _op_traces(core: ServiceCore, body: dict) -> bytes:
+    limit = body.get("limit")
+    if limit is not None and (not isinstance(limit, int) or isinstance(limit, bool)):
+        raise ValueError("'limit' must be an integer")
+    return encode_json(core.traces_payload(limit))
+
+
+def _op_scrub(core: ServiceCore, body: dict) -> bytes:
+    return encode_json(core.scrub_payload(repair=bool(body.get("repair", False))))
+
+
+def _op_ping(core: ServiceCore, body: dict) -> bytes:
+    return b""
+
+
+_HANDLERS = {
+    OP_QUERY: _op_query,
+    OP_QUERY_BATCH: _op_query_batch,
+    OP_IMPACT: _op_impact,
+    OP_DEPENDENCIES: _op_dependencies,
+    OP_SUMMARY: _op_summary,
+    OP_HEALTHZ: _op_healthz,
+    OP_METRICS: _op_metrics,
+    OP_TRACES: _op_traces,
+    OP_SCRUB: _op_scrub,
+    OP_PING: _op_ping,
+}
+
+
+# ----------------------------------------------------------------------
+# server
+# ----------------------------------------------------------------------
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    """One thread per connection: read frames in a loop until the peer
+    hangs up, answering each on the same socket."""
+
+    def handle(self) -> None:
+        rpc: "RPCServer" = self.server.lineage_rpc
+        sock: socket.socket = self.request
+        # small frames dominate; never trade latency for Nagle batching
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        _RPC_CONNECTIONS.inc()
+        log_event(
+            "rpc_connect", level="debug", component="rpc", client=self.client_address[0]
+        )
+        try:
+            while not rpc._closing:
+                try:
+                    opcode, request_id, payload = read_frame(sock)
+                except ShortRead:
+                    return  # peer closed; between frames this is graceful
+                except ValueError as error:
+                    # corrupt header: the stream is unparseable from here on
+                    log_event(
+                        "rpc_bad_frame",
+                        level="warning",
+                        component="rpc",
+                        client=self.client_address[0],
+                        error=str(error),
+                    )
+                    return
+                except OSError:
+                    return
+                try:
+                    rpc._serve_one(sock, opcode, request_id, payload, self.client_address)
+                except (_ConnectionDropped, OSError):
+                    return
+        finally:
+            _RPC_CONNECTIONS.dec()
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # the RPCServer installs itself here
+    lineage_rpc: "RPCServer" = None
+
+
+class RPCServer:
+    """Serve a DSLog catalog over the binary framed protocol.
+
+    The constructor mirrors :class:`~repro.service.server.LineageServer`
+    (same *executor* / *max_workers* / *cache_entries* / *coalesce_ms*
+    knobs, same optional pre-built *core* for transport sharing) plus
+    *fault_plan*, the injection hook used by the soak tests.
+    """
+
+    def __init__(
+        self,
+        log,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor: Optional[QueryExecutor] = None,
+        max_workers: Optional[int] = None,
+        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        coalesce_ms: Optional[float] = None,
+        core: Optional[ServiceCore] = None,
+        fault_plan=None,
+    ) -> None:
+        self._owns_core = core is None
+        self.core = core or ServiceCore(
+            log,
+            executor=executor,
+            max_workers=max_workers,
+            cache_entries=cache_entries,
+            coalesce_ms=coalesce_ms,
+        )
+        self.fault_plan = fault_plan
+        self._closing = False
+        self._tcp = _ThreadingTCPServer((host, port), _ConnectionHandler)
+        self._tcp.lineage_rpc = self
+        self.host, self.port = self._tcp.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def log(self):
+        return self.core.log
+
+    @property
+    def executor(self) -> QueryExecutor:
+        return self.core.executor
+
+    @property
+    def coalescer(self):
+        return self.core.coalescer
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def url(self) -> str:
+        return f"rpc://{self.host}:{self.port}"
+
+    # -- request cycle ---------------------------------------------------
+    def _serve_one(
+        self, sock: socket.socket, opcode: int, request_id: int, payload: bytes, peer
+    ) -> None:
+        started = time.monotonic()
+        op_name = OPCODES.get(opcode, f"op{opcode}")
+        trace: Optional[tracing.Trace] = None
+        if opcode in _TRACED_OPS and tracing.tracing_enabled():
+            trace = tracing.Trace("rpc", op=op_name)
+        status = "ok"
+        try:
+            handler = _HANDLERS.get(opcode)
+            if handler is None:
+                raise ValueError(f"unknown RPC opcode {opcode}")
+            body = decode_json(payload) if payload else {}
+            if not isinstance(body, dict):
+                raise ValueError("the request payload must be a JSON object")
+            if trace is not None:
+                with trace.activate():
+                    response_payload = handler(self.core, body)
+            else:
+                response_payload = handler(self.core, body)
+            response_op = opcode
+        except Exception as error:  # noqa: BLE001 - must answer, never hang
+            http_status, kind, message = error_info(error)
+            status = str(http_status)
+            response_op = OP_ERROR
+            response_payload = encode_json(
+                {"status": http_status, "type": kind, "message": message}
+            )
+        elapsed = time.monotonic() - started
+        if trace is not None:
+            trace.set_tag("status", status)
+            trace.finish()
+        _RPC_REQUESTS.labels(op=op_name, status=status).inc()
+        _RPC_SECONDS.labels(op=op_name).observe(elapsed)
+        log_event(
+            "rpc_request",
+            component="rpc",
+            op=op_name,
+            status=status,
+            ms=round(elapsed * 1000.0, 3),
+            client=peer[0],
+            trace_id=trace.trace_id if trace is not None else None,
+        )
+        self._send_frame(sock, response_op, request_id, response_payload)
+
+    def _send_frame(
+        self, sock: socket.socket, opcode: int, request_id: int, payload: bytes
+    ) -> None:
+        frame = encode_frame(opcode, request_id, payload)
+        plan = self.fault_plan
+        if plan is not None:
+            # one consultation covers every rule kind at this site: stall
+            # rules sleep in place, error/enospc rules raise, short_write
+            # rules return how much of the frame reaches the wire
+            try:
+                truncated = plan.short_write("rpc.send", None, len(frame))
+            except OSError as fault:
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                raise _ConnectionDropped() from fault
+            if truncated is not None:
+                # transmit a partial frame, then kill the connection — the
+                # client must see a short read and retry elsewhere
+                try:
+                    sock.sendall(frame[:truncated])
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                raise _ConnectionDropped()
+        sock.sendall(frame)
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "RPCServer":
+        """Serve on a daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._tcp.serve_forever,
+                name="lineage-rpc",
+                kwargs={"poll_interval": 0.05},
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (blocks; for dedicated processes)."""
+        self._tcp.serve_forever(poll_interval=0.05)
+
+    def close(self) -> None:
+        """Stop accepting, drop the serving thread, release the core."""
+        if self._closed:
+            return
+        self._closed = True
+        self._closing = True
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self._owns_core:
+            self.core.close()
+
+    def __enter__(self) -> "RPCServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+class _PooledConnection:
+    """One persistent socket plus its monotonically increasing request id."""
+
+    __slots__ = ("sock", "next_request_id")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.next_request_id = 0
+
+    def take_request_id(self) -> int:
+        rid = self.next_request_id
+        self.next_request_id = (rid + 1) & 0xFFFFFFFF
+        return rid
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class RPCClient:
+    """Pooled persistent-connection client for an :class:`RPCServer`.
+
+    Connections are created on demand up to *pool_size*, parked in an idle
+    pool between requests (LIFO, so the hottest socket stays hot) and
+    re-dialed transparently when the server restarts or a frame is cut
+    short.  All requests are read-only, so transport failures re-send with
+    decorrelated-jitter backoff bounded by the attempt count and the retry
+    budget (:class:`~repro.service.retry.RetryPolicy`), then raise
+    :class:`~repro.service.server.LineageConnectionError`.  Structured
+    server failures (``OP_ERROR`` frames) raise
+    :class:`~repro.service.server.LineageServerError` immediately — the
+    same exception surface as the HTTP client.
+
+    Accepts ``"host:port"``, ``"rpc://host:port"`` or a ``(host, port)``
+    tuple as *address*.
+    """
+
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]],
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        jitter: float = 0.5,
+        retry_budget: Optional[float] = 10.0,
+        pool_size: int = 4,
+    ) -> None:
+        if isinstance(address, str):
+            trimmed = address
+            if "//" in trimmed:
+                scheme, _, rest = trimmed.partition("//")
+                if scheme not in ("rpc:", ""):
+                    raise ValueError(f"RPCClient speaks rpc:// only, got {address!r}")
+                trimmed = rest
+            host, _, port_text = trimmed.rstrip("/").rpartition(":")
+            if not host or not port_text.isdigit():
+                raise ValueError(f"need 'host:port', got {address!r}")
+            self.host, self.port = host, int(port_text)
+        else:
+            self.host, self.port = address[0], int(address[1])
+        self.timeout = float(timeout)
+        self.retry = RetryPolicy(
+            retries=retries, backoff=backoff, jitter=jitter, retry_budget=retry_budget
+        )
+        self.pool_size = max(1, int(pool_size))
+        self._lock = threading.Lock()
+        self._idle: List[_PooledConnection] = []
+        self._closed = False
+        self.requests_sent = 0
+        self.retries_used = 0
+        self.dials = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @classmethod
+    def connect(
+        cls, address: Union[str, Tuple[str, int]], timeout: float = 10.0, **kwargs
+    ) -> "RPCClient":
+        """Build a client and wait (up to *timeout* seconds) for the server
+        to answer a ping — the rendezvous for freshly spawned servers."""
+        client = cls(address, **kwargs)
+        deadline = time.monotonic() + float(timeout)
+        while True:
+            try:
+                client.ping()
+                return client
+            except (LineageConnectionError, LineageServerError):
+                if time.monotonic() >= deadline:
+                    raise LineageConnectionError(
+                        f"no RPC server answered at {client.address} within {timeout}s"
+                    ) from None
+                time.sleep(min(0.05, client.retry.backoff))
+
+    # -- connection pool -------------------------------------------------
+    def _acquire(self) -> _PooledConnection:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the RPC client is closed")
+            if self._idle:
+                return self._idle.pop()
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.dials += 1
+        return _PooledConnection(sock)
+
+    def _release(self, conn: _PooledConnection) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self.pool_size:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        """Close every pooled connection and refuse further requests."""
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+    def __enter__(self) -> "RPCClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- transport -------------------------------------------------------
+    def _request(self, opcode: int, body: Optional[dict] = None) -> Tuple[int, bytes]:
+        """One round trip; returns ``(response opcode, payload)``.
+
+        Transport failures (reset, refused, short read, timeout) discard
+        the connection and retry on a fresh one; a corrupt frame is not
+        retried (the stream is broken, not the transport)."""
+        payload = encode_json(body) if body is not None else b""
+        schedule = self.retry.schedule()
+        last_error: Optional[BaseException] = None
+        while True:
+            try:
+                conn = self._acquire()
+            except OSError as error:
+                last_error = error
+            else:
+                rid = conn.take_request_id()
+                self.requests_sent += 1
+                try:
+                    conn.sock.sendall(encode_frame(opcode, rid, payload))
+                    while True:
+                        response_op, response_id, response_payload = read_frame(conn.sock)
+                        if response_id == rid:
+                            break
+                        # stale response from an abandoned request on a
+                        # recycled connection: drop and keep reading
+                except (ConnectionError, socket.timeout, TimeoutError) as error:
+                    conn.close()
+                    last_error = error
+                except ValueError:
+                    conn.close()
+                    raise
+                except OSError as error:
+                    conn.close()
+                    last_error = error
+                else:
+                    self._release(conn)
+                    if response_op == OP_ERROR:
+                        raise self._server_error(response_payload)
+                    return response_op, response_payload
+            if not schedule.sleep():
+                raise LineageConnectionError(
+                    f"RPC {OPCODES.get(opcode, opcode)} to {self.address} failed "
+                    f"after {schedule.describe()}: {last_error}"
+                ) from last_error
+            self.retries_used += 1
+
+    @staticmethod
+    def _server_error(payload: bytes) -> LineageServerError:
+        try:
+            info = decode_json(payload)
+            return LineageServerError(info["status"], info["type"], info["message"])
+        except Exception:  # noqa: BLE001 - malformed error frame
+            return LineageServerError(
+                500, "internal", payload.decode("utf-8", "replace")
+            )
+
+    # -- API -------------------------------------------------------------
+    def ping(self) -> None:
+        self._request(OP_PING)
+
+    def prov_query(
+        self,
+        path: Sequence[str],
+        cells: Optional[Sequence] = None,
+        slices: Optional[Sequence] = None,
+        merge: bool = True,
+        include_boxes: bool = True,
+        include_cells: bool = False,
+        deadline: Optional[float] = None,
+    ) -> RPCResult:
+        """Run a lineage query; returns a zero-copy
+        :class:`~repro.service.wire.RPCResult` (mapping-compatible with
+        the HTTP client's result dict)."""
+        body: Dict[str, Any] = {"path": list(path), "merge": merge}
+        if cells is not None:
+            body["cells"] = [list(cell) for cell in cells]
+        if slices is not None:
+            body["slices"] = [list(pair) if pair is not None else None for pair in slices]
+        body["include_boxes"] = include_boxes
+        body["include_cells"] = include_cells
+        if deadline is not None:
+            body["deadline"] = deadline
+        _, payload = self._request(OP_QUERY, body)
+        return decode_result(payload)
+
+    @staticmethod
+    def _normalize_queries(
+        queries: Sequence[Any],
+        merge: bool,
+        include_boxes: bool,
+        include_cells: bool,
+    ) -> List[dict]:
+        """``(path, cells)`` tuples / raw body dicts → query body dicts."""
+        bodies: List[dict] = []
+        for item in queries:
+            if isinstance(item, dict):
+                entry = dict(item)
+            else:
+                path, cells = item
+                entry = {
+                    "path": list(path),
+                    "cells": [
+                        list(cell) if isinstance(cell, (list, tuple)) else cell
+                        for cell in cells
+                    ],
+                }
+            entry.setdefault("merge", merge)
+            entry.setdefault("include_boxes", include_boxes)
+            entry.setdefault("include_cells", include_cells)
+            bodies.append(entry)
+        return bodies
+
+    def prov_query_batch(
+        self,
+        queries: Sequence[Any],
+        merge: bool = True,
+        include_boxes: bool = True,
+        include_cells: bool = False,
+        deadline: Optional[float] = None,
+    ) -> List[Union[RPCResult, dict]]:
+        """Run many queries in one round trip; one entry per query, in
+        order — an :class:`~repro.service.wire.RPCResult`, or the
+        ``{"error": {...}}`` dict for queries that failed individually."""
+        body: Dict[str, Any] = {
+            "queries": self._normalize_queries(
+                queries, merge, include_boxes, include_cells
+            )
+        }
+        if deadline is not None:
+            body["deadline"] = deadline
+        _, payload = self._request(OP_QUERY_BATCH, body)
+        results, _ = decode_batch(payload)
+        return results
+
+    def prov_query_pipelined(
+        self,
+        queries: Sequence[Any],
+        merge: bool = True,
+        include_boxes: bool = True,
+        include_cells: bool = False,
+        window: int = 8,
+    ) -> List[Union[RPCResult, dict]]:
+        """Run many queries over one connection with up to *window*
+        request frames in flight — the frame header's request id is what
+        makes this safe, every response names the request it answers.
+
+        Unlike :meth:`prov_query_batch` (one ``OP_QUERY_BATCH`` frame the
+        server executes as one batch), each query here is an ordinary
+        ``OP_QUERY`` the server answers in arrival order; pipelining just
+        stops the client from idling out a full round trip per request.
+        Returns one entry per query, in order — an
+        :class:`~repro.service.wire.RPCResult`, or the ``{"error": {...}}``
+        dict for queries that failed individually.  Transport failures
+        re-run the whole pipeline on a fresh connection (queries are
+        idempotent reads), bounded by the retry budget.
+        """
+        payloads = [
+            encode_json(body)
+            for body in self._normalize_queries(
+                queries, merge, include_boxes, include_cells
+            )
+        ]
+        window = max(1, int(window))
+        schedule = self.retry.schedule()
+        last_error: Optional[BaseException] = None
+        while True:
+            try:
+                conn = self._acquire()
+            except OSError as error:
+                last_error = error
+            else:
+                try:
+                    results = self._pipeline_once(conn, payloads, window)
+                except (ConnectionError, socket.timeout, TimeoutError) as error:
+                    conn.close()
+                    last_error = error
+                except ValueError:
+                    conn.close()
+                    raise
+                except OSError as error:
+                    conn.close()
+                    last_error = error
+                else:
+                    self._release(conn)
+                    return results
+            if not schedule.sleep():
+                raise LineageConnectionError(
+                    f"pipelined RPC query to {self.address} failed after "
+                    f"{schedule.describe()}: {last_error}"
+                ) from last_error
+            self.retries_used += 1
+
+    def _pipeline_once(
+        self, conn: _PooledConnection, payloads: Sequence[bytes], window: int
+    ) -> List[Union[RPCResult, dict]]:
+        results: List[Union[RPCResult, dict]] = [None] * len(payloads)
+        pending: deque = deque()  # (payload index, request id), send order
+        sent = 0
+        while sent < len(payloads) or pending:
+            if sent < len(payloads) and len(pending) < window:
+                burst: List[bytes] = []
+                while sent < len(payloads) and len(pending) < window:
+                    rid = conn.take_request_id()
+                    self.requests_sent += 1
+                    burst.append(encode_frame(OP_QUERY, rid, payloads[sent]))
+                    pending.append((sent, rid))
+                    sent += 1
+                conn.sock.sendall(b"".join(burst))
+            index, rid = pending.popleft()
+            while True:
+                op, response_id, payload = read_frame(conn.sock)
+                if response_id == rid:
+                    break
+                # stale response from an abandoned request on a recycled
+                # connection: drop and keep reading
+            if op == OP_ERROR:
+                try:
+                    results[index] = {"error": decode_json(payload)}
+                except ValueError:
+                    results[index] = {
+                        "error": {
+                            "status": 500,
+                            "type": "internal",
+                            "message": payload.decode("utf-8", "replace"),
+                        }
+                    }
+            else:
+                results[index] = decode_result(payload)
+        return results
+
+    def impact(self, name: str) -> Dict[str, int]:
+        _, payload = self._request(OP_IMPACT, {"array": name})
+        return decode_json(payload)["impact"]
+
+    def dependencies(self, name: str) -> Dict[str, int]:
+        _, payload = self._request(OP_DEPENDENCIES, {"array": name})
+        return decode_json(payload)["dependencies"]
+
+    def lineage_summary(self) -> dict:
+        _, payload = self._request(OP_SUMMARY)
+        return decode_json(payload)
+
+    def healthz(self) -> dict:
+        _, payload = self._request(OP_HEALTHZ)
+        return decode_json(payload)
+
+    def scrub(self, repair: bool = False) -> dict:
+        _, payload = self._request(OP_SCRUB, {"repair": repair})
+        return decode_json(payload)["scrub"]
+
+    def metrics_text(self) -> str:
+        _, payload = self._request(OP_METRICS)
+        return payload.decode("utf-8")
+
+    def traces(self, limit: Optional[int] = None) -> list:
+        body = {"limit": limit} if limit is not None else None
+        _, payload = self._request(OP_TRACES, body)
+        return decode_json(payload)["traces"]
+
+
+# ----------------------------------------------------------------------
+# both transports over one core
+# ----------------------------------------------------------------------
+class DualServer:
+    """One catalog served over HTTP *and* RPC simultaneously — what
+    ``DSLog.serve(transport="both")`` returns.
+
+    Both servers wrap one shared :class:`~repro.service.api.ServiceCore`,
+    so they answer identically and share the executor, the result cache
+    (a query cached via HTTP is a cache hit via RPC and vice versa) and
+    the optional coalescer.  The core is owned here and released once,
+    after both transports stop.
+    """
+
+    def __init__(
+        self,
+        log,
+        host: str = "127.0.0.1",
+        http_port: int = 0,
+        rpc_port: int = 0,
+        executor: Optional[QueryExecutor] = None,
+        max_workers: Optional[int] = None,
+        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        coalesce_ms: Optional[float] = None,
+        fault_plan=None,
+    ) -> None:
+        self.core = ServiceCore(
+            log,
+            executor=executor,
+            max_workers=max_workers,
+            cache_entries=cache_entries,
+            coalesce_ms=coalesce_ms,
+        )
+        self.http = LineageServer(log, host=host, port=http_port, core=self.core)
+        self.rpc = RPCServer(
+            log, host=host, port=rpc_port, core=self.core, fault_plan=fault_plan
+        )
+        self._closed = False
+
+    @property
+    def log(self):
+        return self.core.log
+
+    @property
+    def executor(self) -> QueryExecutor:
+        return self.core.executor
+
+    @property
+    def coalescer(self):
+        return self.core.coalescer
+
+    @property
+    def url(self) -> str:
+        """The HTTP URL (the RPC address is :attr:`rpc_address`)."""
+        return self.http.url
+
+    @property
+    def rpc_address(self) -> str:
+        return self.rpc.address
+
+    def start(self) -> "DualServer":
+        self.http.start()
+        self.rpc.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.http.close()
+        self.rpc.close()
+        self.core.close()
+
+    def __enter__(self) -> "DualServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

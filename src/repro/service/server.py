@@ -2,10 +2,17 @@
 
 Everything before this module answered queries in-process; the serving
 tier makes the catalog reachable from other processes with nothing beyond
-the stdlib: a :class:`http.server.ThreadingHTTPServer` fronting a
-:class:`~repro.service.query.QueryExecutor` (one handler thread per
-connection, all sharing the executor's result cache and fan-out pool), and
-a thin ``urllib``-based client with bounded retry on transport failures.
+the stdlib: a :class:`http.server.ThreadingHTTPServer` fronting the shared
+:class:`~repro.service.api.ServiceCore` (one handler thread per
+connection, all sharing the core's executor, result cache and optional
+coalescer), and a thin ``http.client``-based client with **persistent
+keep-alive connections** (one per calling thread, transparently re-dialed
+when the server restarts) and bounded retry on transport failures.
+
+This module is one of two transports over the same service layer — the
+binary RPC tier (:mod:`repro.service.rpc`) is the other.  Pick HTTP for
+interoperability (curl, browsers, load balancers); pick RPC when the
+round trip itself is the cost that matters.
 
 JSON API
 --------
@@ -57,21 +64,25 @@ from __future__ import annotations
 
 import http.client
 import json
-import os
-import random
 import socket
 import threading
 import time
 import urllib.error
 import urllib.parse
-import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..faults import DeadlineExceeded, IngestOverloaded, ShardUnavailable
-from ..obs import DEFAULT_SIZE_BUCKETS, REGISTRY, log_event, tracing
-from ..storage.catalog import AmbiguousLineageError
-from .query import DEFAULT_CACHE_ENTRIES, QueryExecutor, QueryOutcome
+from ..obs import REGISTRY, log_event, tracing
+from .api import (
+    BadJson,
+    QueryCoalescer,
+    ServiceCore,
+    annotate_outcome,
+    error_info,
+    result_payload,
+)
+from .query import DEFAULT_CACHE_ENTRIES, QueryExecutor
+from .retry import RetryPolicy
 
 _HTTP_REQUESTS = REGISTRY.counter(
     "dslog_http_requests_total",
@@ -82,17 +93,6 @@ _HTTP_SECONDS = REGISTRY.histogram(
     "dslog_http_request_seconds",
     "Wall time per HTTP request, by endpoint",
     labelnames=("endpoint",),
-)
-_COALESCED_BATCH = REGISTRY.histogram(
-    "dslog_coalesced_batch_size",
-    "Single /query requests grouped into one executor batch per flush",
-    buckets=DEFAULT_SIZE_BUCKETS,
-)
-_COALESCE_FLUSHES = REGISTRY.counter(
-    "dslog_coalesce_flushes_total",
-    "Coalescer flushes, by trigger (idle = lone request on an idle queue, "
-    "window = the coalescing tick expired)",
-    labelnames=("reason",),
 )
 
 # endpoints that open a per-request trace (the observability surfaces
@@ -131,98 +131,16 @@ class LineageConnectionError(ConnectionError):
 
 
 # ----------------------------------------------------------------------
-# payloads
-# ----------------------------------------------------------------------
-def result_payload(
-    result, include_boxes: bool = True, include_cells: bool = False
-) -> dict:
-    """JSON-encodable form of a :class:`~repro.core.query.QueryResult`."""
-    cells = result.cells
-    payload: Dict[str, Any] = {
-        "array": cells.array_name,
-        "shape": list(cells.shape),
-        "boxes_merged": int(len(cells)),
-        "count": int(result.count_cells()),
-        "hops": [
-            {
-                "from": hop.array_from,
-                "to": hop.array_to,
-                "rows_scanned": hop.rows_scanned,
-                "boxes_in": hop.boxes_in,
-                "boxes_out_raw": hop.boxes_out_raw,
-                "boxes_out_merged": hop.boxes_out_merged,
-                "seconds": hop.seconds,
-            }
-            for hop in result.hops
-        ],
-    }
-    if include_boxes:
-        payload["boxes"] = [
-            [cells.lo[i].tolist(), cells.hi[i].tolist()] for i in range(len(cells))
-        ]
-    if include_cells:
-        payload["cells"] = sorted(list(cell) for cell in result.to_cells())
-    return payload
-
-
-def _parse_query_request(body: dict) -> Tuple[list, Any, bool, bool, bool, Optional[float]]:
-    path = body.get("path")
-    if not isinstance(path, list) or len(path) < 2 or not all(
-        isinstance(name, str) for name in path
-    ):
-        raise ValueError("'path' must be a list of at least two array names")
-    cells = body.get("cells")
-    slices = body.get("slices")
-    if (cells is None) == (slices is None):
-        raise ValueError("exactly one of 'cells' or 'slices' is required")
-    if cells is not None:
-        if not isinstance(cells, list):
-            raise ValueError("'cells' must be a list of cell coordinates")
-        query: Any = []
-        for cell in cells:
-            if isinstance(cell, list) and all(isinstance(c, int) for c in cell):
-                query.append(tuple(cell))
-            elif isinstance(cell, int):
-                query.append(cell)
-            else:
-                raise ValueError(
-                    "'cells' entries must be integer coordinate lists (or bare "
-                    f"integers for 1-D arrays), got {cell!r}"
-                )
-    else:
-        if not isinstance(slices, list):
-            raise ValueError("'slices' must be a list of [start, stop] pairs")
-        query = []
-        for pair in slices:
-            if pair is None:
-                query.append(slice(None, None))
-            elif (
-                isinstance(pair, list)
-                and len(pair) == 2
-                and all(p is None or isinstance(p, int) for p in pair)
-            ):
-                query.append(slice(pair[0], pair[1]))
-            else:
-                raise ValueError(
-                    f"'slices' entries must be [start, stop] pairs or null, got {pair!r}"
-                )
-    merge = bool(body.get("merge", True))
-    include_boxes = bool(body.get("include_boxes", True))
-    include_cells = bool(body.get("include_cells", False))
-    deadline = body.get("deadline")
-    if deadline is not None:
-        if not isinstance(deadline, (int, float)) or deadline <= 0:
-            raise ValueError("'deadline' must be a positive number of seconds")
-        deadline = float(deadline)
-    return path, query, merge, include_boxes, include_cells, deadline
-
-
-# ----------------------------------------------------------------------
 # server
 # ----------------------------------------------------------------------
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "dslog-lineage"
+    # buffer the response and push it in one segment: the stdlib default
+    # (unbuffered writes + Nagle) turns every keep-alive response into a
+    # small-write sequence that trips the ~40 ms delayed-ACK stall
+    wbufsize = 64 * 1024
+    disable_nagle_algorithm = True
 
     # the LineageServer installs itself here on the subclass it creates
     lineage: "LineageServer" = None
@@ -268,9 +186,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             body = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise _BadJson(str(error)) from None
+            raise BadJson(str(error)) from None
         if not isinstance(body, dict):
-            raise _BadJson("the request body must be a JSON object")
+            raise BadJson("the request body must be a JSON object")
         return body
 
     def _dispatch(self, method: str) -> None:
@@ -324,7 +242,7 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 status, payload = handler(self.lineage, self, parsed)
         except Exception as error:  # noqa: BLE001 - must never hang the socket
-            status, kind, message = _error_info(error)
+            status, kind, message = error_info(error)
             self._send_error_payload(status, kind, message)
             return status
         if isinstance(payload, tuple):
@@ -341,108 +259,42 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
 
-class _BadJson(ValueError):
-    """Body was present but not valid JSON (distinct 400 type)."""
-
-
-def _error_info(error: BaseException) -> Tuple[int, str, str]:
-    """Map an exception to its structured ``(status, type, message)``
-    triple — the one taxonomy behind whole-request errors and the
-    per-item errors of ``/query_batch``."""
-    if isinstance(error, _BadJson):
-        return 400, "bad-json", f"malformed JSON body: {error}"
-    if isinstance(error, (ValueError, AmbiguousLineageError)):
-        return 400, "bad-request", str(error)
-    if isinstance(error, KeyError):
-        return 404, "not-found", str(error.args[0] if error.args else error)
-    if isinstance(error, DeadlineExceeded):
-        # before OSError: TimeoutError is an OSError subclass on 3.10+
-        return 504, "deadline-exceeded", str(error)
-    if isinstance(error, ShardUnavailable):
-        return 503, "shard-unavailable", str(error)
-    if isinstance(error, IngestOverloaded):
-        return 503, "overloaded", str(error)
-    if isinstance(error, OSError):
-        return 503, "io-error", f"{type(error).__name__}: {error}"
-    return 500, "internal", f"{type(error).__name__}: {error}"
-
-
 def _route_query(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
     body = handler._read_body()
-    path, query, merge, include_boxes, include_cells, deadline = _parse_query_request(body)
     start = time.monotonic()
-    if server.coalescer is not None:
-        outcome = server.coalescer.submit(path, query, merge=merge, deadline=deadline)
-    else:
-        outcome = server.executor.query(path, query, merge=merge, deadline=deadline)
+    outcome, spec = server.core.execute_query(body)
     payload = result_payload(
-        outcome.result, include_boxes=include_boxes, include_cells=include_cells
+        outcome.result,
+        include_boxes=spec.include_boxes,
+        include_cells=spec.include_cells,
     )
-    payload["cached"] = outcome.cached
-    payload["degraded"] = outcome.degraded
-    payload["elapsed_ms"] = (time.monotonic() - start) * 1000.0
-    return 200, payload
+    return 200, annotate_outcome(payload, outcome, (time.monotonic() - start) * 1000.0)
 
 
 def _route_query_batch(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
     body = handler._read_body()
-    items = body.get("queries")
-    if not isinstance(items, list) or not items:
-        raise ValueError("'queries' must be a non-empty list of query objects")
-    deadline = body.get("deadline")
-    if deadline is not None:
-        if not isinstance(deadline, (int, float)) or deadline <= 0:
-            raise ValueError("'deadline' must be a positive number of seconds")
-        deadline = float(deadline)
-    # parse each item independently: one malformed entry becomes a
-    # structured per-item error, never a whole-batch 400
-    specs: List[Any] = []
-    for item in items:
-        try:
-            if not isinstance(item, dict):
-                raise ValueError("each 'queries' entry must be a JSON object")
-            specs.append(_parse_query_request(item))
-        except ValueError as error:
-            specs.append(error)
-    results: List[Any] = [None] * len(items)
     start = time.monotonic()
-    # one executor batch per merge flavor (batches share a merge flag);
-    # almost all real batches are homogeneous, so this is one call
-    for merge_value in (True, False):
-        idxs = [
-            i
-            for i, spec in enumerate(specs)
-            if not isinstance(spec, BaseException) and spec[2] is merge_value
-        ]
-        if not idxs:
-            continue
-        outcomes = server.executor.query_batch(
-            [(specs[i][0], specs[i][1]) for i in idxs],
-            merge=merge_value,
-            deadline=deadline,
-        )
-        for i, outcome in zip(idxs, outcomes):
-            results[i] = outcome
+    specs, outcomes = server.core.execute_query_batch(body)
     elapsed_ms = (time.monotonic() - start) * 1000.0
     payload_results = []
-    for spec, outcome in zip(specs, results):
-        if isinstance(spec, BaseException):
-            outcome = spec
+    for spec, outcome in zip(specs, outcomes):
         if isinstance(outcome, BaseException):
-            status, kind, message = _error_info(outcome)
+            status, kind, message = error_info(outcome)
             payload_results.append(
                 {"error": {"type": kind, "message": message, "status": status}}
             )
             continue
         entry = result_payload(
-            outcome.result, include_boxes=spec[3], include_cells=spec[4]
+            outcome.result,
+            include_boxes=spec.include_boxes,
+            include_cells=spec.include_cells,
         )
         entry["cached"] = outcome.cached
         entry["degraded"] = outcome.degraded
         payload_results.append(entry)
     return 200, {
         "results": payload_results,
-        "batch_size": len(items),
+        "batch_size": len(specs),
         "elapsed_ms": elapsed_ms,
     }
 
@@ -456,64 +308,23 @@ def _array_param(parsed) -> str:
 
 
 def _route_impact(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
-    name = _array_param(parsed)
-    return 200, {"array": name, "impact": server.executor.impact(name)}
+    return 200, server.core.impact_payload(_array_param(parsed))
 
 
 def _route_dependencies(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
-    name = _array_param(parsed)
-    return 200, {"array": name, "dependencies": server.executor.dependencies(name)}
+    return 200, server.core.dependencies_payload(_array_param(parsed))
 
 
 def _route_summary(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
-    # copy before annotating: the summary dict is shared with the cache
-    payload = dict(server.executor.lineage_summary())
-    payload["edges"] = [list(pair) for pair in server.executor.graph_edges()]
-    return 200, payload
+    return 200, server.core.summary_payload()
 
 
 def _route_healthz(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
-    log = server.log
-    store = getattr(log, "store", None)
-    generations = (
-        list(store.generation_vector()) if store is not None else [log.catalog.version]
-    )
-    breakers = server.executor.breaker_stats()
-    degraded = any(b["state"] != "closed" for b in breakers.values())
-    return 200, {
-        "status": "degraded" if degraded else "ok",
-        "backend": log.backend,
-        "arrays": len(log.catalog.arrays),
-        "entries": len(log.catalog),
-        "operations": len(log.catalog.operations),
-        "generations": generations,
-        "breakers": {str(shard): stats for shard, stats in breakers.items()},
-        "executor": server.executor.stats(),
-        "coalescer": server.coalescer.stats() if server.coalescer is not None else None,
-        "storage": _storage_stats(store),
-        "metrics": REGISTRY.snapshot(),
-    }
-
-
-def _storage_stats(store) -> dict:
-    """One shape for both backends: write coalescing, table cache, and mmap
-    reader stats, pulled from the same objects the metrics registry meters."""
-    if store is None:
-        return {}
-    stats: Dict[str, Any] = {}
-    if hasattr(store, "write_stats"):
-        stats["writes"] = store.write_stats()
-    if hasattr(store, "cache_stats"):  # sharded: one entry per shard
-        stats["table_cache"] = store.cache_stats()
-    elif hasattr(store, "cache"):
-        stats["table_cache"] = store.cache.stats()
-    if hasattr(store, "reader_stats"):
-        stats["readers"] = store.reader_stats()
-    return stats
+    return 200, server.core.healthz_payload()
 
 
 def _route_metrics(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, tuple]:
-    return 200, ("text/plain; version=0.0.4; charset=utf-8", REGISTRY.render())
+    return 200, ("text/plain; version=0.0.4; charset=utf-8", server.core.metrics_text())
 
 
 def _route_traces(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
@@ -526,18 +337,12 @@ def _route_traces(server: "LineageServer", handler: _Handler, parsed) -> Tuple[i
             raise ValueError("the 'limit' query parameter must be an integer") from None
         if limit <= 0:
             raise ValueError("the 'limit' query parameter must be positive")
-    return 200, {"traces": tracing.recent_traces(limit)}
+    return 200, server.core.traces_payload(limit)
 
 
 def _route_scrub(server: "LineageServer", handler: _Handler, parsed) -> Tuple[int, dict]:
     body = handler._read_body() if handler.headers.get("Content-Length") else {}
-    repair = bool(body.get("repair", False))
-    try:
-        report = server.log.scrub(repair=repair)
-    except RuntimeError as error:  # e.g. the memory backend has no segments
-        raise ValueError(str(error)) from None
-    # reports may carry Paths / int shard keys; normalize to pure JSON
-    return 200, {"scrub": json.loads(json.dumps(report, default=str))}
+    return 200, server.core.scrub_payload(repair=bool(body.get("repair", False)))
 
 
 _ROUTES = {
@@ -551,140 +356,6 @@ _ROUTES = {
     ("GET", "/debug/traces"): _route_traces,
     ("POST", "/admin/scrub"): _route_scrub,
 }
-
-
-class _PendingQuery:
-    """One ``/query`` request parked in the coalescer, waiting for a flush."""
-
-    __slots__ = ("path", "query", "merge", "deadline", "arrival", "event", "outcome", "error")
-
-    def __init__(self, path, query, merge: bool, deadline: Optional[float]) -> None:
-        self.path = path
-        self.query = query
-        self.merge = merge
-        self.deadline = deadline
-        self.arrival = time.monotonic()
-        self.event = threading.Event()
-        self.outcome: Optional[QueryOutcome] = None
-        self.error: Optional[BaseException] = None
-
-
-class QueryCoalescer:
-    """Group single ``/query`` requests arriving within a window into one
-    executor batch — the read-path mirror of the ingest committer's group
-    commit.
-
-    A background flusher owns the pending queue.  The flush rule keeps
-    single-threaded clients deadlock- and latency-free: woken with exactly
-    one pending request and nothing else inbound, the flusher flushes it
-    *immediately* (counted as reason ``idle``); with two or more pending it
-    waits out the coalescing tick from the *earliest* arrival, letting more
-    requests pile on, then flushes them as one batch (reason ``window``).
-    Requests arriving while a batch executes accumulate for the next flush,
-    so batches form under sustained load without ever parking a lone caller.
-    """
-
-    def __init__(self, executor: QueryExecutor, window_ms: float) -> None:
-        self.executor = executor
-        self.window = max(0.0, float(window_ms)) / 1000.0
-        self._lock = threading.Lock()
-        self._wakeup = threading.Condition(self._lock)
-        self._pending: List[_PendingQuery] = []
-        self._closed = False
-        self.flushes = {"idle": 0, "window": 0}
-        self.queries = 0
-        self.largest_batch = 0
-        self._thread = threading.Thread(
-            target=self._run, name="query-coalescer", daemon=True
-        )
-        self._thread.start()
-
-    def submit(
-        self,
-        path,
-        query,
-        merge: bool = True,
-        deadline: Optional[float] = None,
-    ) -> QueryOutcome:
-        """Park the query until the next flush; returns its outcome (or
-        re-raises its per-item error) once the batch it joined executes."""
-        item = _PendingQuery(path, query, merge, deadline)
-        with self._wakeup:
-            if self._closed:
-                raise RuntimeError("the query coalescer is closed")
-            self._pending.append(item)
-            self._wakeup.notify()
-        item.event.wait()
-        if item.error is not None:
-            raise item.error
-        assert item.outcome is not None
-        return item.outcome
-
-    def _run(self) -> None:
-        while True:
-            with self._wakeup:
-                while not self._pending and not self._closed:
-                    self._wakeup.wait()
-                if not self._pending:
-                    return  # closed and drained
-                if len(self._pending) > 1 and not self._closed:
-                    # several waiters: let the tick fill the batch
-                    expires = self._pending[0].arrival + self.window
-                    while not self._closed:
-                        remaining = expires - time.monotonic()
-                        if remaining <= 0:
-                            break
-                        self._wakeup.wait(timeout=remaining)
-                batch, self._pending = self._pending, []
-            self._flush(batch)
-
-    def _flush(self, batch: List[_PendingQuery]) -> None:
-        reason = "idle" if len(batch) == 1 else "window"
-        self.flushes[reason] += 1
-        self.queries += len(batch)
-        self.largest_batch = max(self.largest_batch, len(batch))
-        _COALESCE_FLUSHES.labels(reason=reason).inc()
-        _COALESCED_BATCH.observe(len(batch))
-        # executor batches share one merge flag and one deadline; flush
-        # each distinct combination as its own sub-batch
-        groups: Dict[Tuple[bool, Optional[float]], List[_PendingQuery]] = {}
-        for item in batch:
-            groups.setdefault((item.merge, item.deadline), []).append(item)
-        for (merge, deadline), items in groups.items():
-            try:
-                outcomes = self.executor.query_batch(
-                    [(item.path, item.query) for item in items],
-                    merge=merge,
-                    deadline=deadline,
-                )
-            except BaseException as error:  # noqa: BLE001 - waiters must wake
-                outcomes = [error] * len(items)
-            for item, outcome in zip(items, outcomes):
-                if isinstance(outcome, BaseException):
-                    item.error = outcome
-                else:
-                    item.outcome = outcome
-                item.event.set()
-
-    def stats(self) -> dict:
-        with self._lock:
-            pending = len(self._pending)
-        return {
-            "window_ms": self.window * 1000.0,
-            "pending": pending,
-            "flushes": dict(self.flushes),
-            "queries": self.queries,
-            "largest_batch": self.largest_batch,
-        }
-
-    def close(self) -> None:
-        """Stop the flusher; pending requests are flushed before it exits."""
-        with self._wakeup:
-            if self._closed:
-                return
-            self._closed = True
-            self._wakeup.notify_all()
-        self._thread.join(timeout=5)
 
 
 class LineageServer:
@@ -704,11 +375,13 @@ class LineageServer:
     max_workers / cache_entries:
         Forwarded to the owned executor.
     coalesce_ms:
-        Opt-in request coalescing: single ``/query`` requests arriving
-        within this window are grouped into one executor batch
-        (:class:`QueryCoalescer`).  ``None`` reads the
-        ``DSLOG_COALESCE_MS`` environment variable; ``0`` (the default
-        when the variable is unset) disables coalescing.
+        Opt-in request coalescing (see :class:`~repro.service.api.ServiceCore`).
+    core:
+        A pre-built :class:`~repro.service.api.ServiceCore` to serve —
+        how ``DSLog.serve(transport="both")`` makes HTTP and RPC share one
+        executor and cache.  Mutually exclusive with *executor* /
+        *max_workers* / *cache_entries* / *coalesce_ms*; the core is not
+        closed by this server.
     """
 
     def __init__(
@@ -720,25 +393,15 @@ class LineageServer:
         max_workers: Optional[int] = None,
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
         coalesce_ms: Optional[float] = None,
+        core: Optional[ServiceCore] = None,
     ) -> None:
-        self.log = log
-        self._owns_executor = executor is None
-        self.executor = executor or QueryExecutor(
-            log, max_workers=max_workers, cache_entries=cache_entries
-        )
-        if coalesce_ms is None:
-            raw = os.environ.get("DSLOG_COALESCE_MS", "").strip()
-            if raw:
-                try:
-                    coalesce_ms = float(raw)
-                except ValueError:
-                    raise ValueError(
-                        f"DSLOG_COALESCE_MS must be a number of milliseconds, got {raw!r}"
-                    ) from None
-        self.coalescer: Optional[QueryCoalescer] = (
-            QueryCoalescer(self.executor, coalesce_ms)
-            if coalesce_ms is not None and coalesce_ms > 0
-            else None
+        self._owns_core = core is None
+        self.core = core or ServiceCore(
+            log,
+            executor=executor,
+            max_workers=max_workers,
+            cache_entries=cache_entries,
+            coalesce_ms=coalesce_ms,
         )
         handler = type("LineageHandler", (_Handler,), {"lineage": self})
         self._httpd = ThreadingHTTPServer((host, port), handler)
@@ -746,6 +409,19 @@ class LineageServer:
         self.host, self.port = self._httpd.server_address[:2]
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+
+    # the pre-core attribute surface, kept for callers and tests
+    @property
+    def log(self):
+        return self.core.log
+
+    @property
+    def executor(self) -> QueryExecutor:
+        return self.core.executor
+
+    @property
+    def coalescer(self) -> Optional[QueryCoalescer]:
+        return self.core.coalescer
 
     @property
     def url(self) -> str:
@@ -777,10 +453,8 @@ class LineageServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
-        if self.coalescer is not None:
-            self.coalescer.close()
-        if self._owns_executor:
-            self.executor.close()
+        if self._owns_core:
+            self.core.close()
 
     def __enter__(self) -> "LineageServer":
         return self.start()
@@ -793,7 +467,8 @@ class LineageServer:
 # client
 # ----------------------------------------------------------------------
 # transport-level failures worth a retry: the server restarting, a listen
-# backlog reset, a half-closed keep-alive connection
+# backlog reset, a half-closed keep-alive connection (RemoteDisconnected
+# is exactly the keep-alive case: the server hung up between requests)
 _RETRYABLE = (
     ConnectionResetError,
     ConnectionRefusedError,
@@ -801,22 +476,25 @@ _RETRYABLE = (
     BrokenPipeError,
     http.client.RemoteDisconnected,
     http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    http.client.ResponseNotReady,
     socket.timeout,
 )
 
 
 class LineageClient:
-    """Thin stdlib HTTP client for a :class:`LineageServer`.
+    """Stdlib HTTP client for a :class:`LineageServer` with **persistent
+    connections**: each calling thread keeps one ``http.client.
+    HTTPConnection`` alive across requests (HTTP/1.1 keep-alive), so the
+    steady-state round trip pays no TCP connect/teardown — the connection
+    is re-dialed transparently when the server restarts or the idle socket
+    is reset (``RemoteDisconnected``).
 
     All requests are read-only (and therefore idempotent), so transport
-    failures — connection reset/refused, a server restart mid-request —
-    are retried up to *retries* times with exponential backoff before
-    :class:`LineageConnectionError` is raised.  Each backoff delay is
-    *jittered* (scaled by a random factor in ``[1, 1 + jitter]``) so a
-    fleet of clients hammered off the same server restart does not retry
-    in lockstep, and the total time spent sleeping between retries is
-    capped by *retry_budget* seconds — whichever of the attempt count or
-    the budget runs out first ends the retry loop.  HTTP-level errors are
+    failures are retried with decorrelated-jitter backoff bounded by both
+    an attempt count and a total *retry_budget* of sleep seconds
+    (:class:`~repro.service.retry.RetryPolicy`) before
+    :class:`LineageConnectionError` is raised.  HTTP-level errors are
     parsed back into :class:`LineageServerError` with the server's
     structured ``type`` and ``message``.
     """
@@ -831,13 +509,50 @@ class LineageClient:
         retry_budget: Optional[float] = 10.0,
     ) -> None:
         self.url = url.rstrip("/")
+        parsed = urllib.parse.urlsplit(self.url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"LineageClient speaks http:// only, got {url!r}")
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
         self.timeout = float(timeout)
-        self.retries = int(retries)
-        self.backoff = float(backoff)
-        self.jitter = max(0.0, float(jitter))
-        self.retry_budget = None if retry_budget is None else float(retry_budget)
+        self.retry = RetryPolicy(
+            retries=retries, backoff=backoff, jitter=jitter, retry_budget=retry_budget
+        )
         self.requests_sent = 0
         self.retries_used = 0
+        # one keep-alive connection per calling thread: threads fan out in
+        # parallel (the old one-connection-per-request behavior, minus the
+        # per-request dial), and every opened connection is registered so
+        # close() can drop them all
+        self._local = threading.local()
+        self._conns_lock = threading.Lock()
+        self._conns: List[http.client.HTTPConnection] = []
+
+    # retry/backoff knobs kept as (assignable) attributes for callers that
+    # tune an existing client
+    @property
+    def retries(self) -> int:
+        return self.retry.retries
+
+    @retries.setter
+    def retries(self, value: int) -> None:
+        self.retry.retries = int(value)
+
+    @property
+    def backoff(self) -> float:
+        return self.retry.backoff
+
+    @backoff.setter
+    def backoff(self, value: float) -> None:
+        self.retry.backoff = float(value)
+
+    @property
+    def retry_budget(self) -> Optional[float]:
+        return self.retry.retry_budget
+
+    @retry_budget.setter
+    def retry_budget(self, value: Optional[float]) -> None:
+        self.retry.retry_budget = None if value is None else float(value)
 
     @classmethod
     def connect(cls, url: str, timeout: float = 10.0, **kwargs) -> "LineageClient":
@@ -858,53 +573,101 @@ class LineageClient:
                 time.sleep(min(0.05, client.backoff))
 
     # -- transport ------------------------------------------------------
-    def _request(self, method: str, route: str, body: Optional[dict] = None) -> dict:
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            conn.connect()
+            # request frames are small; ship them without Nagle batching
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._local.conn = conn
+            with self._conns_lock:
+                self._conns.append(conn)
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            return
+        self._local.conn = None
+        with self._conns_lock:
+            try:
+                self._conns.remove(conn)
+            except ValueError:
+                pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Close every keep-alive connection this client has opened (any
+        thread's).  The client remains usable — the next request re-dials."""
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        self._local = threading.local()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "LineageClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request_raw(self, method: str, route: str, body: Optional[dict] = None):
+        """One request over the thread's persistent connection; returns
+        ``(status, raw bytes)``.  Transport failures are retried (the
+        connection is re-dialed); HTTP error statuses are returned to the
+        caller for structured parsing."""
         data = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if data is not None else {}
+        schedule = self.retry.schedule()
         last_error: Optional[BaseException] = None
-        budget = self.retry_budget
-        for attempt in range(self.retries + 1):
-            if attempt:
-                delay = self.backoff * (2 ** (attempt - 1))
-                delay *= 1.0 + self.jitter * random.random()
-                if budget is not None:
-                    if budget <= 0:
-                        raise LineageConnectionError(
-                            f"{method} {route} failed after {attempt} attempts "
-                            f"(retry budget of {self.retry_budget}s exhausted): "
-                            f"{last_error}"
-                        ) from last_error
-                    delay = min(delay, budget)
-                    budget -= delay
-                self.retries_used += 1
-                time.sleep(delay)
-            request = urllib.request.Request(
-                self.url + route, data=data, headers=headers, method=method
-            )
+        while True:
             self.requests_sent += 1
             try:
-                with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                    return json.loads(response.read().decode("utf-8"))
-            except urllib.error.HTTPError as error:
-                raise self._server_error(error) from None
+                # dial errors are retryable too: the connection is opened
+                # eagerly (to set TCP_NODELAY), inside the retry loop
+                conn = self._connection()
+                conn.request(method, route, body=data, headers=headers)
+                response = conn.getresponse()
+                # read fully so the connection is reusable for the next call
+                payload = response.read()
+                return response.status, payload
             except _RETRYABLE as error:
                 last_error = error
-            except urllib.error.URLError as error:
-                if not isinstance(error.reason, _RETRYABLE):
-                    raise LineageConnectionError(str(error)) from error
-                last_error = error
-        raise LineageConnectionError(
-            f"{method} {route} failed after {self.retries + 1} attempts: {last_error}"
-        ) from last_error
+            except (http.client.HTTPException, OSError) as error:
+                # unexpected transport state (half-written request, DNS
+                # failure): not retryable-by-policy, but the connection is
+                # poisoned either way
+                self._drop_connection()
+                raise LineageConnectionError(str(error)) from error
+            self._drop_connection()
+            if not schedule.sleep():
+                raise LineageConnectionError(
+                    f"{method} {route} failed after {schedule.describe()}: {last_error}"
+                ) from last_error
+            self.retries_used += 1
+
+    def _request(self, method: str, route: str, body: Optional[dict] = None) -> dict:
+        status, payload = self._request_raw(method, route, body)
+        if status >= 400:
+            raise self._server_error(status, payload)
+        return json.loads(payload.decode("utf-8"))
 
     @staticmethod
-    def _server_error(error: urllib.error.HTTPError) -> LineageServerError:
+    def _server_error(status: int, payload: bytes) -> LineageServerError:
         try:
-            payload = json.loads(error.read().decode("utf-8"))
-            detail = payload["error"]
-            return LineageServerError(error.code, detail["type"], detail["message"])
+            detail = json.loads(payload.decode("utf-8"))["error"]
+            return LineageServerError(status, detail["type"], detail["message"])
         except Exception:  # noqa: BLE001 - non-JSON error body
-            return LineageServerError(error.code, "http-error", str(error))
+            return LineageServerError(status, "http-error", payload.decode("utf-8", "replace"))
 
     # -- API ------------------------------------------------------------
     def prov_query(
@@ -997,16 +760,11 @@ class LineageClient:
 
     def metrics_text(self) -> str:
         """Fetch ``GET /metrics`` as raw Prometheus exposition text (the
-        one endpoint that is not JSON, so it bypasses :meth:`_request`)."""
-        request = urllib.request.Request(self.url + "/metrics", method="GET")
-        self.requests_sent += 1
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.read().decode("utf-8")
-        except urllib.error.HTTPError as error:
-            raise self._server_error(error) from None
-        except urllib.error.URLError as error:
-            raise LineageConnectionError(str(error)) from error
+        one endpoint whose payload is not JSON)."""
+        status, payload = self._request_raw("GET", "/metrics")
+        if status >= 400:
+            raise self._server_error(status, payload)
+        return payload.decode("utf-8")
 
     def traces(self, limit: Optional[int] = None) -> list:
         """Fetch recently finished traces (``GET /debug/traces``),

@@ -68,6 +68,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+from ..core.serialize import frame_header, parse_header
 from ..faults import FaultPlan, InjectedFault
 from ..obs import REGISTRY
 
@@ -115,14 +116,15 @@ _CRC = struct.Struct("<I")
 
 
 def _header_bytes(version: int) -> bytes:
-    return SEGMENT_MAGIC + struct.pack("<H", version)
+    return frame_header(SEGMENT_MAGIC, "H", version)
 
 
 def _check_header(data: bytes, path: Path) -> int:
     """Validate the 6-byte header; returns the file's wire version."""
-    if data[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
-        raise ValueError(f"{path} is not a DSLog segment file")
-    (version,) = struct.unpack("<H", data[len(SEGMENT_MAGIC) : SEGMENT_HEADER_SIZE])
+    try:
+        (version,), _offset = parse_header(data, SEGMENT_MAGIC, "H", "DSLog segment file")
+    except ValueError as error:
+        raise ValueError(f"{path} is not a DSLog segment file: {error}") from None
     if version not in (1, 2):
         raise ValueError(f"{path} has unsupported segment version {version}")
     return version

@@ -300,3 +300,80 @@ class TestSmallestDtypeScan:
         hydrated = deserialize_compressed(plain)
         again = deserialize_compressed(serialize_compressed(hydrated))
         assert serialize_compressed(again) == plain
+
+
+class TestSharedFraming:
+    """The shared magic/struct framing helpers behind PRVC, DSEG, BLST and
+    the RPC frame: uniform truncation/corruption errors for every format."""
+
+    def test_frame_header_round_trip(self):
+        from repro.core.serialize import frame_header, parse_header
+
+        buf = frame_header(b"ABCD", "HIH", 7, 123456, 9) + b"payload"
+        fields, offset = parse_header(buf, b"ABCD", "HIH", "test frame")
+        assert fields == (7, 123456, 9)
+        assert buf[offset:] == b"payload"
+
+    def test_parse_header_truncated(self):
+        from repro.core.serialize import frame_header, parse_header
+
+        buf = frame_header(b"ABCD", "I", 42)
+        with pytest.raises(ValueError, match="truncated test frame header"):
+            parse_header(buf[:-1], b"ABCD", "I", "test frame")
+        with pytest.raises(ValueError, match="truncated"):
+            parse_header(b"", b"ABCD", "I", "test frame")
+
+    def test_parse_header_bad_magic(self):
+        from repro.core.serialize import frame_header, parse_header
+
+        buf = frame_header(b"ABCD", "I", 42)
+        with pytest.raises(ValueError, match="not a test frame"):
+            parse_header(b"XXXX" + buf[4:], b"ABCD", "I", "test frame")
+
+    def test_json_frame_round_trip(self):
+        from repro.core.serialize import json_frame, parse_json_frame
+
+        buf = json_frame(b"JSON", {"k": [1, 2], "n": "x"}, b"\x01\x02")
+        header, offset = parse_json_frame(buf, b"JSON", "test frame")
+        assert header == {"k": [1, 2], "n": "x"}
+        assert buf[offset:] == b"\x01\x02"
+
+    def test_json_frame_header_overruns_buffer(self):
+        from repro.core.serialize import json_frame, parse_json_frame
+
+        buf = json_frame(b"JSON", {"k": 1})
+        with pytest.raises(ValueError, match="claims"):
+            parse_json_frame(buf[:10], b"JSON", "test frame")
+
+    def test_json_frame_corrupt_header(self):
+        from repro.core.serialize import parse_json_frame
+
+        garbage = b"JSON" + struct.pack("<I", 4) + b"{{{{"
+        with pytest.raises(ValueError, match="corrupt test frame header"):
+            parse_json_frame(garbage, b"JSON", "test frame")
+        not_an_object = b"JSON" + struct.pack("<I", 2) + b"[]"
+        with pytest.raises(ValueError, match="not a JSON object"):
+            parse_json_frame(not_an_object, b"JSON", "test frame")
+
+    def test_prvc_truncated_and_corrupt_through_shared_helpers(self):
+        # the PRVC reader goes through the shared parser: the same error
+        # taxonomy shows up at the table level
+        table, _ = sample_table()
+        data = serialize_compressed(table)
+        with pytest.raises(ValueError, match="not a ProvRC serialized table"):
+            deserialize_compressed(b"XXXX" + data[4:])
+        with pytest.raises(ValueError):
+            deserialize_compressed(data[:6])
+
+    def test_segment_header_through_shared_helpers(self, tmp_path):
+        from repro.storage.segments import SegmentWriter, iter_records
+
+        path = tmp_path / "seg-000.seg"
+        with SegmentWriter(path) as writer:
+            writer.append(b"hello")
+            writer.sync()
+        raw = path.read_bytes()
+        bad = tmp_path / "bad.seg"
+        bad.write_bytes(b"XXXX" + raw[4:])
+        with pytest.raises(ValueError, match="is not a DSLog segment file"):
+            list(iter_records(bad))

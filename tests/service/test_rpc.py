@@ -1,0 +1,408 @@
+"""The binary RPC transport end to end: every opcode against a live
+server, byte-identical results across the HTTP and RPC transports, the
+shared result cache, connection pooling and re-dial after a server-side
+kill, request-id pipelining, structured errors, and the per-opcode
+observability surface."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import DSLog
+from repro.core.relation import LineageRelation
+from repro.obs import REGISTRY
+from repro.service.rpc import DualServer, RPCClient, RPCServer
+from repro.service.server import (
+    LineageClient,
+    LineageConnectionError,
+    LineageServer,
+    LineageServerError,
+)
+from repro.service.wire import (
+    OP_PING,
+    OP_QUERY,
+    encode_frame,
+    encode_json,
+    read_frame,
+)
+
+SHAPE = (6, 6)
+
+
+def identity(in_name, out_name):
+    pairs = [((i, j), (i, j)) for i in range(SHAPE[0]) for j in range(SHAPE[1])]
+    return LineageRelation.from_pairs(
+        pairs, SHAPE, SHAPE, in_name=in_name, out_name=out_name
+    )
+
+
+@pytest.fixture
+def log(tmp_path):
+    log = DSLog(tmp_path / "db", backend="sharded", num_shards=4)
+    for name in ("a", "b", "c"):
+        log.define_array(name, SHAPE)
+    log.add_lineage("a", "b", relation=identity("a", "b"))
+    log.add_lineage("b", "c", relation=identity("b", "c"))
+    yield log
+    log.close()
+
+
+@pytest.fixture
+def server(log):
+    server = RPCServer(log).start()
+    yield server
+    server.close()
+
+
+@pytest.fixture
+def client(server):
+    client = RPCClient.connect(server.address)
+    yield client
+    client.close()
+
+
+# ----------------------------------------------------------------------
+# the API surface
+# ----------------------------------------------------------------------
+def test_query_round_trip(client):
+    result = client.prov_query(["a", "b", "c"], cells=[[1, 1], [2, 3]])
+    assert result["count"] == 2
+    assert result["array"] == "c"  # the query lands on the path's final array
+    assert sorted(result["boxes"]) == [[[1, 1], [1, 1]], [[2, 3], [2, 3]]]
+    assert len(result["hops"]) == 2
+    assert result.boxes_lo.shape == (2, 2)
+
+
+def test_query_slices_and_cells_flag(client):
+    result = client.prov_query(
+        ["a", "b"], slices=[[1, 3], None], include_cells=True
+    )
+    assert result["count"] == 2 * SHAPE[1]
+    assert [1, 0] in result["cells"]
+
+
+def test_query_batch_mixed(client):
+    results = client.prov_query_batch(
+        [
+            (["a", "b"], [[2, 2]]),
+            {"path": ["missing", "b"], "cells": [[0, 0]]},
+            {"path": ["a"], "cells": [[0, 0]]},
+        ]
+    )
+    assert results[0]["count"] == 1
+    assert results[1]["error"]["type"] == "not-found"
+    assert results[2]["error"]["type"] == "bad-request"
+
+
+def test_graph_endpoints(client):
+    assert client.impact("a") == {"b": 1, "c": 2}
+    assert client.dependencies("c") == {"b": 1, "a": 2}
+    summary = client.lineage_summary()
+    assert summary["arrays"] == 3
+    assert ["a", "b"] in summary["edges"]
+
+
+def test_healthz_scrub_traces_metrics(client):
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["backend"] == "sharded"
+    report = client.scrub()
+    assert report["clean"] is True
+    assert isinstance(client.traces(limit=5), list)
+    text = client.metrics_text()
+    assert "dslog_rpc_requests_total" in text
+
+
+def test_structured_errors(client):
+    with pytest.raises(LineageServerError) as excinfo:
+        client.impact("missing")
+    assert excinfo.value.status == 404
+    assert excinfo.value.kind == "not-found"
+    with pytest.raises(LineageServerError) as excinfo:
+        client.prov_query(["a"], cells=[[0, 0]])
+    assert excinfo.value.status == 400
+
+
+def test_unknown_opcode_gets_error_frame(server):
+    with socket.create_connection((server.host, server.port), timeout=5) as sock:
+        sock.sendall(encode_frame(240, 1, b"{}"))
+        opcode, request_id, payload = read_frame(sock)
+    from repro.service.wire import OP_ERROR
+
+    assert opcode == OP_ERROR
+    assert request_id == 1
+    info = json.loads(payload)
+    assert info["status"] == 400
+    assert "opcode" in info["message"]
+
+
+def test_corrupt_frame_closes_connection(server):
+    with socket.create_connection((server.host, server.port), timeout=5) as sock:
+        sock.sendall(b"JUNKJUNKJUNKJUNKJUNK")
+        assert sock.recv(1024) == b""  # server hangs up, no reply possible
+
+
+# ----------------------------------------------------------------------
+# transport equivalence
+# ----------------------------------------------------------------------
+def test_results_identical_across_transports(log):
+    """The RPC result, rendered to the HTTP payload shape, must be
+    byte-identical to the HTTP response (modulo timing fields)."""
+    with DualServer(log) as dual:
+        http = LineageClient.connect(dual.url)
+        rpc = RPCClient.connect(dual.rpc_address)
+        requests = [
+            {"cells": [[1, 1], [4, 5]]},
+            {"cells": [[0, 0]], "merge": False},
+            {"slices": [[0, 2], [3, 5]], "include_cells": True},
+            {"cells": [[2, 2]], "include_boxes": False},
+        ]
+        for req in requests:
+            h = http.prov_query(["a", "b", "c"], **req)
+            r = rpc.prov_query(["a", "b", "c"], **req)
+            strip = lambda p: {
+                k: v
+                for k, v in p.items()
+                if k not in ("elapsed_ms", "cached", "hops")
+            }
+            assert json.dumps(strip(h), sort_keys=True) == json.dumps(
+                strip(r.to_payload()), sort_keys=True
+            )
+            # hop stats agree on everything but wall time
+            for hh, rh in zip(h["hops"], r["hops"]):
+                assert {k: v for k, v in hh.items() if k != "seconds"} == {
+                    k: v for k, v in rh.items() if k != "seconds"
+                }
+        http.close()
+        rpc.close()
+
+
+def test_cache_shared_across_transports(log):
+    with DualServer(log) as dual:
+        http = LineageClient.connect(dual.url)
+        rpc = RPCClient.connect(dual.rpc_address)
+        first = http.prov_query(["a", "b"], cells=[[3, 3]])
+        assert first["cached"] is False
+        warm = rpc.prov_query(["a", "b"], cells=[[3, 3]])
+        assert warm.cached is True  # HTTP warmed it, RPC hit it
+        http.close()
+        rpc.close()
+
+
+def test_dslog_serve_transport_param(log):
+    rpc_server = log.serve(transport="rpc")
+    try:
+        assert isinstance(rpc_server, RPCServer)
+        client = RPCClient.connect(rpc_server.address)
+        assert client.prov_query(["a", "b"], cells=[[0, 0]])["count"] == 1
+        client.close()
+    finally:
+        rpc_server.close()
+    http_server = log.serve()
+    try:
+        assert isinstance(http_server, LineageServer)
+    finally:
+        http_server.close()
+    with pytest.raises(ValueError, match="unknown transport"):
+        log.serve(transport="carrier-pigeon")
+
+
+# ----------------------------------------------------------------------
+# connection lifecycle
+# ----------------------------------------------------------------------
+def test_connection_reused_across_requests(server):
+    client = RPCClient.connect(server.address)
+    try:
+        for _ in range(10):
+            client.ping()
+        assert client.dials == 1
+        assert client.requests_sent >= 11
+    finally:
+        client.close()
+
+
+def test_pool_grows_under_concurrency(server):
+    client = RPCClient.connect(server.address, pool_size=4)
+    barrier = threading.Barrier(4)
+    errors = []
+
+    def hammer():
+        try:
+            barrier.wait(timeout=5)
+            for _ in range(20):
+                assert client.prov_query(["a", "b"], cells=[[1, 2]])["count"] == 1
+        except Exception as error:  # pragma: no cover - fail below
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert 1 <= client.dials <= 4
+    client.close()
+
+
+def test_client_redials_after_server_side_kill(server, client):
+    """Mid-frame connection loss must degrade to reconnect-and-retry."""
+    assert client.prov_query(["a", "b"], cells=[[1, 1]])["count"] == 1
+    # kill the pooled connection under the client, as a restart would
+    assert len(client._idle) == 1
+    client._idle[0].sock.shutdown(socket.SHUT_RDWR)
+    assert client.prov_query(["a", "b"], cells=[[2, 2]])["count"] == 1
+    assert client.retries_used >= 1
+    assert client.dials == 2
+
+
+def test_retries_exhausted_raises_connection_error(tmp_path):
+    client = RPCClient(("127.0.0.1", 9), retries=2, backoff=0.001)
+    with pytest.raises(LineageConnectionError) as excinfo:
+        client.ping()
+    assert "3 attempts" in str(excinfo.value)
+
+
+def test_retry_budget_bounds_time(tmp_path):
+    client = RPCClient(
+        ("127.0.0.1", 9), retries=8, backoff=30.0, retry_budget=0.05
+    )
+    started = time.monotonic()
+    with pytest.raises(LineageConnectionError) as excinfo:
+        client.ping()
+    assert time.monotonic() - started < 5.0
+    assert "retry budget" in str(excinfo.value)
+
+
+def test_connect_waits_for_late_server(log):
+    server = RPCServer(log)
+    address = server.address
+
+    def start_later():
+        time.sleep(0.2)
+        server.start()
+
+    thread = threading.Thread(target=start_later)
+    thread.start()
+    try:
+        client = RPCClient.connect(address, timeout=10.0, retries=0)
+        client.ping()
+        client.close()
+    finally:
+        thread.join()
+        server.close()
+
+
+# ----------------------------------------------------------------------
+# pipelining
+# ----------------------------------------------------------------------
+def test_prov_query_pipelined_matches_sequential(client):
+    """A pipelined run must return exactly what the same queries return
+    one at a time, in order."""
+    queries = [
+        {"path": ["a", "b", "c"], "cells": [[1, 1], [2, 3]]},
+        {"path": ["a", "b"], "slices": [[1, 3], None], "include_cells": True},
+        {"path": ["a", "b"], "cells": [[0, 0]], "merge": False},
+        {"path": ["c", "b", "a"], "cells": [[5, 5]]},
+    ] * 3  # more queries than the window, so the sliding path runs
+    pipelined = client.prov_query_pipelined(queries, window=4)
+
+    def stable(payload):
+        trimmed = {
+            k: v for k, v in payload.items() if k not in ("elapsed_ms", "cached")
+        }
+        trimmed["hops"] = [
+            {k: v for k, v in hop.items() if k != "seconds"}
+            for hop in payload["hops"]
+        ]
+        return json.dumps(trimmed, sort_keys=True)
+
+    for query, result in zip(queries, pipelined):
+        q = dict(query)
+        solo = client.prov_query(q.pop("path"), **q)
+        assert stable(result.to_payload()) == stable(solo.to_payload())
+
+
+def test_prov_query_pipelined_mixed_errors(client):
+    results = client.prov_query_pipelined(
+        [
+            (["a", "b"], [[2, 2]]),
+            {"path": ["missing", "b"], "cells": [[0, 0]]},
+            {"path": ["a"], "cells": [[0, 0]]},
+            (["b", "c"], [[4, 4]]),
+        ]
+    )
+    assert results[0]["count"] == 1
+    assert results[1]["error"]["type"] == "not-found"
+    assert results[2]["error"]["type"] == "bad-request"
+    assert results[3]["count"] == 1
+
+
+def test_prov_query_pipelined_single_connection(server):
+    client = RPCClient.connect(server.address)
+    try:
+        queries = [(["a", "b"], [[i % 6, i % 6]]) for i in range(32)]
+        results = client.prov_query_pipelined(queries, window=8)
+        assert all(r["count"] == 1 for r in results)
+        assert client.dials == 1  # one socket carried all 32 in-flight
+    finally:
+        client.close()
+
+
+def test_request_id_pipelining_order(server):
+    """Many requests written before any response is read: responses come
+    back in order, each echoing its request id."""
+    body = encode_json({"path": ["a", "b"], "cells": [[1, 1]]})
+    with socket.create_connection((server.host, server.port), timeout=10) as sock:
+        ids = [17, 3, 99, 41, 7]
+        for rid in ids:
+            sock.sendall(encode_frame(OP_QUERY, rid, body))
+        sock.sendall(encode_frame(OP_PING, 1000, b""))
+        seen = []
+        for _ in range(len(ids) + 1):
+            opcode, rid, payload = read_frame(sock)
+            seen.append(rid)
+        assert seen == ids + [1000]
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+def test_rpc_metrics_per_opcode(client):
+    client.prov_query(["a", "b"], cells=[[0, 1]])
+    client.impact("a")
+    with pytest.raises(LineageServerError):
+        client.impact("missing")
+    text = client.metrics_text()
+    assert 'dslog_rpc_requests_total{op="query",status="ok"}' in text
+    assert 'dslog_rpc_requests_total{op="impact",status="ok"}' in text
+    assert 'dslog_rpc_requests_total{op="impact",status="404"}' in text
+    assert 'dslog_rpc_request_seconds_count{op="query"}' in text
+    assert "dslog_rpc_connections" in text
+
+
+def test_connection_gauge_tracks_open_sockets(server):
+    gauge = REGISTRY.gauge("dslog_rpc_connections")
+    base = gauge.value
+    client = RPCClient.connect(server.address)
+    client.ping()
+    assert gauge.value == base + 1
+    client.close()
+    deadline = time.monotonic() + 5
+    while gauge.value > base and time.monotonic() < deadline:
+        time.sleep(0.01)  # the handler thread notices the close async
+    assert gauge.value == base
+
+
+def test_rpc_requests_traced(server):
+    from repro.obs import tracing
+
+    client = RPCClient.connect(server.address)
+    client.prov_query(["a", "b", "c"], cells=[[1, 1]])
+    client.close()
+    traces = tracing.recent_traces(20)
+    rpc_traces = [t for t in traces if t["name"] == "rpc"]
+    assert rpc_traces
+    assert rpc_traces[0]["tags"]["op"] == "query"

@@ -2,7 +2,9 @@
 every failure mode (malformed JSON, unknown arrays, bad parameters), query
 correctness under concurrent compaction, and client retry semantics."""
 
+import http.client
 import json
+import socket
 import threading
 import time
 import urllib.error
@@ -221,26 +223,26 @@ def test_queries_during_compaction(log, server):
 # client retry
 # ----------------------------------------------------------------------
 def test_client_retries_on_connection_reset(client, monkeypatch):
-    real_urlopen = urllib.request.urlopen
+    real_request = http.client.HTTPConnection.request
     failures = {"left": 2}
 
-    def flaky(request, timeout=None):
+    def flaky(self, *args, **kwargs):
         if failures["left"] > 0:
             failures["left"] -= 1
             raise ConnectionResetError("peer reset")
-        return real_urlopen(request, timeout=timeout)
+        return real_request(self, *args, **kwargs)
 
-    monkeypatch.setattr(urllib.request, "urlopen", flaky)
+    monkeypatch.setattr(http.client.HTTPConnection, "request", flaky)
     assert client.healthz()["status"] == "ok"
     assert failures["left"] == 0
     assert client.retries_used == 2
 
 
 def test_client_retries_exhausted(client, monkeypatch):
-    def always_reset(request, timeout=None):
+    def always_reset(self, *args, **kwargs):
         raise ConnectionResetError("peer reset")
 
-    monkeypatch.setattr(urllib.request, "urlopen", always_reset)
+    monkeypatch.setattr(http.client.HTTPConnection, "request", always_reset)
     client.retries = 2
     client.backoff = 0.001
     with pytest.raises(LineageConnectionError) as excinfo:
@@ -251,16 +253,47 @@ def test_client_retries_exhausted(client, monkeypatch):
 def test_client_does_not_retry_http_errors(client, monkeypatch):
     """A structured server error must surface immediately, not be retried."""
     calls = {"count": 0}
-    real_urlopen = urllib.request.urlopen
+    real_request = http.client.HTTPConnection.request
 
-    def counting(request, timeout=None):
+    def counting(self, *args, **kwargs):
         calls["count"] += 1
-        return real_urlopen(request, timeout=timeout)
+        return real_request(self, *args, **kwargs)
 
-    monkeypatch.setattr(urllib.request, "urlopen", counting)
+    monkeypatch.setattr(http.client.HTTPConnection, "request", counting)
     with pytest.raises(LineageServerError):
         client.impact("missing")
     assert calls["count"] == 1
+
+
+def test_client_reuses_keepalive_connection(server, monkeypatch):
+    """The steady state is one persistent connection per thread — repeated
+    requests must not dial a new socket each time."""
+    dials = {"count": 0}
+    real_connect = http.client.HTTPConnection.connect
+
+    def counting_connect(self):
+        dials["count"] += 1
+        return real_connect(self)
+
+    monkeypatch.setattr(http.client.HTTPConnection, "connect", counting_connect)
+    fresh = LineageClient(server.url)
+    try:
+        for _ in range(5):
+            assert fresh.healthz()["status"] == "ok"
+    finally:
+        fresh.close()
+    assert dials["count"] == 1
+
+
+def test_client_redials_after_server_side_close(server, client):
+    """A half-closed keep-alive socket (server restarted / idle reset) must
+    be re-dialed transparently instead of failing the request."""
+    assert client.healthz()["status"] == "ok"
+    # break the persistent connection under the client the way a remote
+    # close does: the next send sees a dead peer, not a clean socket
+    client._local.conn.sock.shutdown(socket.SHUT_RDWR)
+    assert client.healthz()["status"] == "ok"
+    assert client.retries_used >= 1
 
 
 def test_connect_waits_for_late_server(log):

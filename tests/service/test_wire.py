@@ -1,0 +1,275 @@
+"""The binary wire format in isolation: frame round trips, header
+validation (truncation, bad magic, wrong version, hostile lengths),
+zero-copy result payloads across every integer width, empty results,
+>64 KiB frames, and the batch manifest."""
+
+import json
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.query import QueryResult
+from repro.service import wire
+from repro.service.wire import (
+    FRAME_HEADER_SIZE,
+    OP_PING,
+    OP_QUERY,
+    RPCResult,
+    ShortRead,
+    decode_batch,
+    decode_json,
+    decode_result,
+    encode_batch,
+    encode_frame,
+    encode_json,
+    encode_result,
+    parse_frame_header,
+    read_frame,
+    recv_exact,
+)
+
+
+def make_result(boxes, shape=(1 << 40, 1 << 40), array_name="arr"):
+    """A QueryResult over the given [(lo_cell, hi_cell), ...] boxes; the
+    huge default shape keeps count_cells on the box-arithmetic fast path
+    and lets coordinates exercise any integer width."""
+    from repro.core.query import CellBoxSet
+
+    if boxes:
+        lo = np.asarray([b[0] for b in boxes], dtype=np.int64).reshape(len(boxes), -1)
+        hi = np.asarray([b[1] for b in boxes], dtype=np.int64).reshape(len(boxes), -1)
+    else:
+        lo = np.empty((0, len(shape)), dtype=np.int64)
+        hi = np.empty((0, len(shape)), dtype=np.int64)
+    cells = CellBoxSet(array_name, shape, lo, hi)
+    return QueryResult(cells=cells, hops=[])
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def test_frame_round_trip():
+    frame = encode_frame(OP_QUERY, 7, b"hello")
+    opcode, request_id, length = parse_frame_header(frame[:FRAME_HEADER_SIZE])
+    assert (opcode, request_id, length) == (OP_QUERY, 7, 5)
+    assert frame[FRAME_HEADER_SIZE:] == b"hello"
+
+
+def test_frame_empty_payload():
+    frame = encode_frame(OP_PING, 0)
+    assert len(frame) == FRAME_HEADER_SIZE
+    assert parse_frame_header(frame) == (OP_PING, 0, 0)
+
+
+def test_frame_bad_magic():
+    frame = b"XXXX" + encode_frame(OP_PING, 0)[4:]
+    with pytest.raises(ValueError, match="bad magic"):
+        parse_frame_header(frame)
+
+
+def test_frame_truncated_header():
+    frame = encode_frame(OP_PING, 0)
+    with pytest.raises(ValueError, match="truncated"):
+        parse_frame_header(frame[: FRAME_HEADER_SIZE - 3])
+
+
+def test_frame_wrong_version():
+    bad = bytearray(encode_frame(OP_PING, 0))
+    struct.pack_into("<H", bad, 4, 99)
+    with pytest.raises(ValueError, match="version 99"):
+        parse_frame_header(bytes(bad))
+
+
+def test_frame_hostile_length_rejected():
+    """A corrupt or hostile length field must be refused before any
+    allocation happens."""
+    bad = bytearray(encode_frame(OP_PING, 0))
+    struct.pack_into("<I", bad, 6, wire.MAX_FRAME_BYTES + 1)
+    with pytest.raises(ValueError, match="limit"):
+        parse_frame_header(bytes(bad))
+
+
+def test_request_id_round_trips_at_u32_edge():
+    frame = encode_frame(OP_PING, 0xFFFFFFFF, b"")
+    assert parse_frame_header(frame)[1] == 0xFFFFFFFF
+
+
+def socket_pair():
+    server, client = socket.socketpair()
+    server.settimeout(5)
+    client.settimeout(5)
+    return server, client
+
+
+def test_read_frame_over_socket():
+    a, b = socket_pair()
+    try:
+        payload = b"x" * (200 * 1024)  # well past one TCP segment / 64 KiB
+        a.sendall(encode_frame(OP_QUERY, 3, payload))
+        opcode, request_id, received = read_frame(b)
+        assert (opcode, request_id) == (OP_QUERY, 3)
+        assert received == payload
+    finally:
+        a.close()
+        b.close()
+
+
+def test_recv_exact_short_read():
+    a, b = socket_pair()
+    try:
+        a.sendall(b"abc")
+        a.close()
+        with pytest.raises(ShortRead, match="wanted 10 bytes, got 3"):
+            recv_exact(b, 10)
+    finally:
+        b.close()
+
+
+def test_read_frame_eof_mid_payload():
+    a, b = socket_pair()
+    try:
+        frame = encode_frame(OP_QUERY, 1, b"y" * 100)
+        a.sendall(frame[: FRAME_HEADER_SIZE + 40])
+        a.close()
+        with pytest.raises(ShortRead):
+            read_frame(b)
+    finally:
+        b.close()
+
+
+def test_json_payload_round_trip():
+    body = {"path": ["a", "b"], "cells": [[1, 2]], "merge": True}
+    assert decode_json(encode_json(body)) == body
+
+
+def test_json_payload_corrupt():
+    with pytest.raises(ValueError, match="corrupt JSON"):
+        decode_json(b"\xff\xfe not json")
+
+
+# ----------------------------------------------------------------------
+# binary result payloads
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "coord, expected_dtype",
+    [
+        (100, np.int8),
+        (1_000, np.int16),
+        (1_000_000, np.int32),
+        (1 << 40, np.int64),
+    ],
+)
+def test_result_payload_uses_narrowest_dtype(coord, expected_dtype):
+    result = make_result([((0, 0), (coord, coord))])
+    decoded = decode_result(encode_result(result))
+    # lo and hi narrow independently; the all-zero lows stay int8
+    assert decoded.boxes_lo.dtype == np.dtype(np.int8)
+    assert decoded.boxes_hi.dtype == np.dtype(expected_dtype)
+    assert decoded.boxes_hi[0].tolist() == [coord, coord]
+    assert decoded["boxes"] == [[[0, 0], [coord, coord]]]
+
+
+def test_result_payload_round_trip_fields():
+    result = make_result([((1, 2), (3, 4)), ((10, 10), (12, 12))])
+    payload = encode_result(
+        result, cached=True, degraded=True, elapsed_ms=1.5, include_cells=True
+    )
+    decoded = decode_result(payload)
+    assert decoded.array == "arr"
+    assert decoded.count == result.count_cells()
+    assert decoded.boxes_merged == 2
+    assert decoded.cached is True
+    assert decoded.degraded is True
+    assert decoded.elapsed_ms == 1.5
+    assert decoded.cells_array.shape[1] == 2
+    assert decoded["cells"] == sorted(list(c) for c in result.to_cells())
+
+
+def test_result_payload_empty_result():
+    result = make_result([], shape=(8, 8))
+    decoded = decode_result(encode_result(result, include_cells=True))
+    assert decoded.count == 0
+    assert decoded.boxes_lo.shape == (0, 2)
+    assert decoded["boxes"] == []
+    assert decoded["cells"] == []
+
+
+def test_result_payload_without_boxes():
+    result = make_result([((0, 0), (1, 1))])
+    decoded = decode_result(encode_result(result, include_boxes=False))
+    assert decoded.boxes_lo is None
+    with pytest.raises(KeyError):
+        decoded["boxes"]
+    assert decoded.get("boxes") is None
+    assert "boxes" not in decoded
+    assert decoded["count"] == result.count_cells()
+
+
+def test_result_payload_zero_copy_views():
+    """The decoded arrays must be views over the frame bytes, not copies."""
+    result = make_result([((5, 6), (7, 8))])
+    payload = encode_result(result)
+    decoded = decode_result(payload)
+    assert decoded.boxes_lo.base is not None  # frombuffer view, no copy
+    with pytest.raises(ValueError):
+        decoded.boxes_lo[0, 0] = 1  # read-only: backed by the bytes object
+
+
+def test_result_payload_truncated_buffer():
+    result = make_result([((0, 0), (100, 100))])
+    payload = encode_result(result)
+    with pytest.raises(ValueError, match="truncated result payload"):
+        decode_result(payload[:-3])
+
+
+def test_result_payload_mapping_compatibility():
+    """RPCResult must answer exactly like the HTTP result dict."""
+    from repro.service.api import result_payload
+
+    result = make_result([((1, 1), (2, 3)), ((9, 0), (9, 9))])
+    http_shape = result_payload(result, include_boxes=True, include_cells=True)
+    decoded = decode_result(encode_result(result, include_cells=True))
+    for key, value in http_shape.items():
+        assert decoded[key] == value
+    http_shape.update(cached=False, degraded=False, elapsed_ms=0.0)
+    assert json.dumps(decoded.to_payload(), sort_keys=True) == json.dumps(
+        http_shape, sort_keys=True
+    )
+    assert set(decoded.keys()) == set(http_shape.keys())
+
+
+def test_result_payload_large_frame():
+    """Many boxes → a payload well past 64 KiB, hydrated intact."""
+    n = 20_000
+    # disjoint 1-D intervals: int32 coordinates, nothing merges away
+    boxes = [((3 * i,), (3 * i + 1,)) for i in range(n)]
+    result = make_result(boxes, shape=(1 << 40,))
+    payload = encode_result(result)
+    assert len(payload) > 64 * 1024
+    decoded = decode_result(payload)
+    assert decoded.boxes_lo.shape == (n, 1)
+    assert decoded.count == 2 * n
+    assert decoded.boxes_lo[-1].tolist() == [3 * (n - 1)]
+    assert decoded.boxes_hi[-1].tolist() == [3 * (n - 1) + 1]
+
+
+# ----------------------------------------------------------------------
+# batch payloads
+# ----------------------------------------------------------------------
+def test_batch_round_trip_mixed_entries():
+    ok = encode_result(make_result([((0, 0), (4, 4))]))
+    error = {"error": {"type": "not-found", "message": "nope", "status": 404}}
+    payload = encode_batch([ok, error, ok], elapsed_ms=2.5)
+    results, meta = decode_batch(payload)
+    assert meta == {"batch_size": 3, "elapsed_ms": 2.5}
+    assert isinstance(results[0], RPCResult)
+    assert results[1] == error
+    assert results[2]["boxes"] == [[[0, 0], [4, 4]]]
+
+
+def test_batch_empty_is_rejected_upstream_but_encodable():
+    results, meta = decode_batch(encode_batch([]))
+    assert results == [] and meta["batch_size"] == 0
